@@ -1,0 +1,80 @@
+// Command edgeplan answers the paper's motivating question from Fig 1:
+// given a latency budget, which {model, token-control, parallel-scaling}
+// recipe maximizes accuracy on the Jetson AGX Orin?
+//
+// Usage:
+//
+//	edgeplan -latency 20s                  # plan for MMLU-Redux at 20s
+//	edgeplan -latency 500ms -bench mmlu-redux
+//	edgeplan -frontier                     # print the Pareto frontier
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"edgereasoning"
+)
+
+func main() {
+	latency := flag.Duration("latency", 20*time.Second, "per-question latency budget")
+	bench := flag.String("bench", string(edgereasoning.MMLURedux), "benchmark (mmlu-redux, mmlu, naturalplan-*)")
+	frontier := flag.Bool("frontier", false, "print the full accuracy-latency Pareto frontier")
+	tokens := flag.Bool("tokens", false, "also print per-model max token budgets for the deadline")
+	flag.Parse()
+
+	if err := run(*latency, edgereasoning.Benchmark(*bench), *frontier, *tokens); err != nil {
+		fmt.Fprintln(os.Stderr, "edgeplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(budget time.Duration, bench edgereasoning.Benchmark, showFrontier, showTokens bool) error {
+	platform := edgereasoning.NewOrinPlatform()
+
+	if showFrontier {
+		front, err := platform.Frontier(bench)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Pareto frontier on %s (%s):\n", bench, platform.DeviceName())
+		for _, r := range front {
+			fmt.Printf("  %7.2fs  %5.1f%%  $%.3f/1M  %s\n", r.Latency, r.Accuracy*100, r.CostPerM, r.Label())
+		}
+		return nil
+	}
+
+	recipe, ok, err := platform.PlanRecipe(bench, budget)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		fmt.Printf("No recipe meets %s on %s — even the fastest configuration is slower.\n", budget, bench)
+		return nil
+	}
+	fmt.Printf("Optimal recipe @ %s on %s:\n", budget, bench)
+	fmt.Printf("  recipe:    %s\n", recipe.Label())
+	fmt.Printf("  accuracy:  %.1f%%\n", recipe.Accuracy*100)
+	fmt.Printf("  latency:   %.2fs per question (modeled)\n", recipe.Latency)
+	fmt.Printf("  energy:    %.0f J per question\n", recipe.EnergyPerQ)
+	fmt.Printf("  cost:      $%.3f per 1M tokens\n", recipe.CostPerM)
+	if recipe.Interpolated {
+		fmt.Println("  note:      rests on interpolated calibration (not a paper-tabulated cell)")
+	}
+
+	if showTokens {
+		fmt.Println("\nMax decodable tokens within the deadline (Eqn 3 inverted):")
+		for _, id := range []edgereasoning.ModelID{
+			edgereasoning.DSR1Qwen1_5B, edgereasoning.DSR1Llama8B, edgereasoning.DSR1Qwen14B,
+		} {
+			dep, err := platform.Deploy(id)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-18s %6d tokens\n", id, dep.MaxTokensWithin(180, budget))
+		}
+	}
+	return nil
+}

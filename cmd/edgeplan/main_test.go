@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"edgereasoning"
+)
+
+func TestRunPlan(t *testing.T) {
+	if err := run(20*time.Second, edgereasoning.MMLURedux, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPlanWithTokens(t *testing.T) {
+	if err := run(20*time.Second, edgereasoning.MMLURedux, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFrontier(t *testing.T) {
+	if err := run(time.Second, edgereasoning.MMLURedux, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInfeasibleBudget(t *testing.T) {
+	// A microsecond budget fits nothing; must not error, just report.
+	if err := run(time.Microsecond, edgereasoning.MMLURedux, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	if err := run(time.Second, "not-a-benchmark", false, false); err == nil {
+		t.Error("unknown benchmark must fail")
+	}
+}

@@ -1,0 +1,130 @@
+// Command edgereasoning regenerates the paper's tables and figures on the
+// simulated Jetson AGX Orin platform.
+//
+// Usage:
+//
+//	edgereasoning list                 # show available experiment IDs
+//	edgereasoning run <id> [flags]     # run one experiment
+//	edgereasoning all [flags]          # run the full suite
+//
+// Flags:
+//
+//	-seed N     random seed (default 7)
+//	-quick      subsample the large banks (fast smoke runs)
+//	-csv DIR    also write each table as DIR/<table-id>.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"edgereasoning/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "edgereasoning:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing command")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "list":
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	case "run":
+		if len(rest) == 0 {
+			return fmt.Errorf("run: missing experiment id")
+		}
+		id := rest[0]
+		opts, csvDir, err := parseFlags(rest[1:])
+		if err != nil {
+			return err
+		}
+		return execute([]string{id}, opts, csvDir)
+	case "all":
+		opts, csvDir, err := parseFlags(rest)
+		if err != nil {
+			return err
+		}
+		return execute(experiments.IDs(), opts, csvDir)
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func parseFlags(args []string) (experiments.Options, string, error) {
+	fs := flag.NewFlagSet("edgereasoning", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 7, "random seed")
+	quick := fs.Bool("quick", false, "subsample large banks")
+	csvDir := fs.String("csv", "", "directory for CSV output")
+	if err := fs.Parse(args); err != nil {
+		return experiments.Options{}, "", err
+	}
+	return experiments.Options{Seed: *seed, Quick: *quick}, *csvDir, nil
+}
+
+func execute(ids []string, opts experiments.Options, csvDir string) error {
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		tables, err := experiments.Run(id, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		for i := range tables {
+			if err := tables[i].Render(os.Stdout); err != nil {
+				return err
+			}
+			if csvDir != "" {
+				if err := writeCSV(csvDir, &tables[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir string, t *experiments.Table) error {
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `edgereasoning — reproduce the EdgeReasoning paper's evaluation
+
+commands:
+  list                 show available experiment IDs
+  run <id> [flags]     run one experiment (e.g. "run table2")
+  all [flags]          run the full suite
+
+flags:
+  -seed N   random seed (default 7)
+  -quick    subsample large banks
+  -csv DIR  also write CSV files`)
+}

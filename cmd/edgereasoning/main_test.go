@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown command must fail")
+	}
+}
+
+func TestRunMissingArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args must fail")
+	}
+	if err := run([]string{"run"}); err == nil {
+		t.Error("run without id must fail")
+	}
+}
+
+func TestRunExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"run", "saturation", "-quick", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no CSV files written")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty CSV")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"run", "fig999"}); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+}
+
+func TestHelp(t *testing.T) {
+	if err := run([]string{"help"}); err != nil {
+		t.Error("help must succeed")
+	}
+}

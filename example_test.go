@@ -1,0 +1,73 @@
+package edgereasoning_test
+
+import (
+	"fmt"
+	"time"
+
+	"edgereasoning"
+)
+
+// Deploy a model and predict its latency with the fitted analytical
+// model (Eqn 3).
+func Example() {
+	platform := edgereasoning.NewOrinPlatform()
+	dep, err := platform.Deploy(edgereasoning.DSR1Qwen14B)
+	if err != nil {
+		panic(err)
+	}
+	// The inversion: how many tokens fit a 20-second deadline?
+	budget := dep.MaxTokensWithin(180, 20*time.Second)
+	fmt.Println(budget > 50 && budget < 200)
+	// Output: true
+}
+
+// The planner answers Fig 1's question: the optimal recipe under a
+// latency budget.
+func ExamplePlatform_PlanRecipe() {
+	platform := edgereasoning.NewOrinPlatform()
+	recipe, ok, err := platform.PlanRecipe(edgereasoning.MMLURedux, 2*time.Second)
+	if err != nil || !ok {
+		panic(err)
+	}
+	// Tight budgets are served by small direct models (§V-A).
+	fmt.Println(recipe.Latency <= 2.0)
+	fmt.Println(recipe.Accuracy > 0.3)
+	// Output:
+	// true
+	// true
+}
+
+// The catalog carries the paper's full model zoo.
+func ExampleModels() {
+	for _, m := range edgereasoning.Models() {
+		if m.ID == edgereasoning.DSR1Llama8B {
+			fmt.Printf("%s: %.1fB params, reasoning=%v\n",
+				m.DisplayName, float64(m.Params)/1e9, m.Reasoning)
+		}
+	}
+	// Output: DSR1-Llama-8B: 8.0B params, reasoning=true
+}
+
+// Edge economics at the paper's rates: the §III-B single-batch profile
+// bills to $0.302 per million tokens.
+func ExampleEdgeCost() {
+	perMillion := edgereasoning.EdgeCost(0.0317*3.6e6, 4358, 195624)
+	fmt.Printf("$%.2f\n", perMillion)
+	// Output: $0.30
+}
+
+// Evaluating a model twin on a benchmark under token control.
+func ExampleDeployment_Evaluate() {
+	platform := edgereasoning.NewOrinPlatform()
+	dep, err := platform.Deploy(edgereasoning.DSR1Qwen14B)
+	if err != nil {
+		panic(err)
+	}
+	res, err := dep.Evaluate(edgereasoning.MMLURedux, edgereasoning.NoReasoning(), 1)
+	if err != nil {
+		panic(err)
+	}
+	// Table XI: 14B NR scores 69.0% at ~180.7 tokens.
+	fmt.Println(res.Accuracy > 0.66 && res.Accuracy < 0.72)
+	// Output: true
+}

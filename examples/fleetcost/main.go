@@ -1,0 +1,60 @@
+// Fleet cost: the §III-B economics study. A fleet operator weighs serving
+// reasoning queries from the cloud (o1-preview-class API) against a
+// Jetson AGX Orin running DeepScaleR-1.5B on-device, at batch 1 and with
+// request batching. Reproduces the Table III arithmetic: edge batch-30
+// serving lands two orders of magnitude under the $60/1M-token cloud API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edgereasoning"
+)
+
+func main() {
+	platform := edgereasoning.NewOrinPlatform()
+	dep, err := platform.Deploy(edgereasoning.DeepScaleR)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's AIME2024 profile: 30 questions, ~6,520 output tokens
+	// each, run once at batch 1 and once at batch 30.
+	const (
+		queries      = 30
+		promptTokens = 150
+		outputTokens = 6520
+		cloudPerM    = 60.0 // o1-preview output pricing, $/1M tokens
+	)
+
+	b1, err := dep.ServeBatch(queries, promptTokens, outputTokens, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b30, err := dep.ServeBatch(queries, promptTokens, outputTokens, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	edge1 := edgereasoning.EdgeCost(b1.Energy, b1.WallTime, b1.Tokens)
+	edge30 := edgereasoning.EdgeCost(b30.Energy, b30.WallTime, b30.Tokens)
+
+	fmt.Printf("AIME2024-scale workload on %s (DeepScaleR-1.5B)\n\n", platform.DeviceName())
+	fmt.Println("                       batch 1      batch 30")
+	fmt.Printf("  wall time            %7.0f s    %7.0f s   (%.1fx faster)\n",
+		b1.WallTime, b30.WallTime, b1.WallTime/b30.WallTime)
+	fmt.Printf("  energy               %7.4f kWh  %7.4f kWh\n", b1.Energy/3.6e6, b30.Energy/3.6e6)
+	fmt.Printf("  user TPS             %7.1f      %7.1f\n", b1.UserTPS, b30.UserTPS)
+	fmt.Printf("  cost per 1M tokens   $%7.3f     $%7.3f\n\n", edge1, edge30)
+	fmt.Println("  paper measured: 4,358 s / $0.302 (b=1) and 398 s / $0.027 (b=30)")
+
+	// Scale to a fleet-month: 2,000 queries/day for 30 days.
+	const fleetQueries = 2000 * 30
+	tokens := float64(fleetQueries) * (promptTokens + outputTokens)
+	cloudBill := tokens / 1e6 * cloudPerM
+	edgeBill := tokens / 1e6 * edge30
+	fmt.Printf("\nFleet-month (%d queries, %.0fM tokens):\n", fleetQueries, tokens/1e6)
+	fmt.Printf("  cloud API bill: $%9.0f\n", cloudBill)
+	fmt.Printf("  edge bill:      $%9.2f   (%.0fx cheaper)\n", edgeBill, cloudBill/edgeBill)
+}

@@ -1,0 +1,66 @@
+// Pareto explorer: sweep every calibrated {model, token-control, scaling}
+// recipe on MMLU-Redux, print the accuracy-latency Pareto frontier, and
+// identify the paper's three operating regimes (§V-A): sub-5s budgets are
+// exclusively served by 1.5B-class models, mid budgets by direct
+// non-reasoning models, and open budgets by DSR1-Qwen-14B.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edgereasoning"
+)
+
+func main() {
+	platform := edgereasoning.NewOrinPlatform()
+
+	all, err := platform.Recipes(edgereasoning.MMLURedux)
+	if err != nil {
+		log.Fatal(err)
+	}
+	front, err := platform.Frontier(edgereasoning.MMLURedux)
+	if err != nil {
+		log.Fatal(err)
+	}
+	onFrontier := make(map[string]bool, len(front))
+	for _, r := range front {
+		onFrontier[r.Label()] = true
+	}
+
+	fmt.Printf("%d recipes evaluated on %s; %d on the Pareto frontier\n\n",
+		len(all), platform.DeviceName(), len(front))
+	fmt.Println("  latency   accuracy   $/1M      recipe")
+	fmt.Println("  -------   --------   -----     ------")
+	for _, r := range all {
+		marker := " "
+		if onFrontier[r.Label()] {
+			marker = "*"
+		}
+		fmt.Printf("%s %7.2fs   %5.1f%%     $%.3f   %s\n",
+			marker, r.Latency, r.Accuracy*100, r.CostPerM, r.Label())
+	}
+
+	fmt.Println("\nOperating regimes (paper §V-A):")
+	regimes := []struct {
+		name   string
+		lo, hi float64
+	}{
+		{"sub-5s (real-time)", 0, 5},
+		{"5-30s (interactive)", 5, 30},
+		{">30s (deliberative)", 30, 1e9},
+	}
+	for _, reg := range regimes {
+		best := edgereasoning.Recipe{Accuracy: -1}
+		for _, r := range all {
+			if r.Latency > reg.lo && r.Latency <= reg.hi && r.Accuracy > best.Accuracy {
+				best = r
+			}
+		}
+		if best.Accuracy < 0 {
+			fmt.Printf("  %-22s (none feasible)\n", reg.name)
+			continue
+		}
+		fmt.Printf("  %-22s %s (%.1f%% @ %.1fs)\n", reg.name, best.Label(), best.Accuracy*100, best.Latency)
+	}
+}

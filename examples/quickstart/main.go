@@ -1,0 +1,58 @@
+// Quickstart: deploy a reasoning model on the simulated Jetson AGX Orin,
+// predict its latency with the fitted analytical model (Eqn 3), run one
+// request through the serving engine, and evaluate it on MMLU-Redux.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"edgereasoning"
+)
+
+func main() {
+	platform := edgereasoning.NewOrinPlatform()
+	fmt.Printf("Platform: %s\n\n", platform.DeviceName())
+
+	// Deploy DSR1-Qwen-14B: verifies it fits the 64 GB of LPDDR5 and fits
+	// the analytic latency model against the simulator.
+	dep, err := platform.Deploy(edgereasoning.DSR1Qwen14B)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The fitted model answers latency questions in microseconds — the
+	// paper's reason for building it (a full hardware sweep takes days).
+	fmt.Println("Analytical latency model (Eqn 3):")
+	for _, out := range []int{64, 256, 1024} {
+		fmt.Printf("  180-token prompt, %4d output tokens -> %6.1f s\n",
+			out, dep.PredictLatency(180, out))
+	}
+	fmt.Printf("  time between tokens at 512 context: %.3f s\n\n", dep.PredictTBT(512))
+
+	// Invert it: how many tokens fit a 20-second deadline? (Takeaway #6)
+	budget := 20 * time.Second
+	fmt.Printf("Within %s the 14B can decode at most %d tokens.\n\n",
+		budget, dep.MaxTokensWithin(180, budget))
+
+	// Run one request end to end through the vLLM-style engine: paged KV
+	// cache, simulated kernels, power integration.
+	gen, err := dep.Generate(180, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("One simulated request (engine):")
+	fmt.Printf("  prefill %.2f s + decode %.1f s = %.1f s total\n",
+		gen.PrefillTime, gen.DecodeTime, gen.TotalTime())
+	fmt.Printf("  energy %.0f J at %.1f W average\n\n", gen.Energy, gen.AvgPower)
+
+	// Evaluate the model twin on MMLU-Redux under a 256-token hard limit.
+	res, err := dep.Evaluate(edgereasoning.MMLURedux, edgereasoning.Hard(256), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MMLU-Redux under a 256-token hard limit:\n")
+	fmt.Printf("  accuracy %.1f%%, %.0f tokens/question, %.1f s/question\n",
+		res.Accuracy*100, res.MeanTokens, res.MeanLatency)
+}

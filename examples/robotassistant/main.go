@@ -1,0 +1,64 @@
+// Robot assistant: the paper's motivating scenario (§I). A household
+// robot faces tasks with wildly different latency budgets — "avoid that
+// obstacle now!" (sub-second), "help me prepare dinner within 5 minutes"
+// (tens of seconds of planning), "plan my weekly schedule" (minutes).
+// The planner picks the optimal {model, token-control, scaling} recipe
+// for each budget, demonstrating continuous operation across the
+// accuracy-latency frontier instead of one fixed model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"edgereasoning"
+)
+
+type task struct {
+	request string
+	budget  time.Duration
+}
+
+func main() {
+	platform := edgereasoning.NewOrinPlatform()
+	tasks := []task{
+		{"Avoid that obstacle now!", 1 * time.Second},
+		{"Can you help me prepare dinner within 5 minutes?", 20 * time.Second},
+		{"Plan my weekly schedule.", 2 * time.Minute},
+		{"Write a detailed study plan for my exams.", 10 * time.Minute},
+	}
+
+	fmt.Printf("Assistive robot on %s — per-task recipe selection\n\n", platform.DeviceName())
+	for _, tk := range tasks {
+		recipe, ok, err := platform.PlanRecipe(edgereasoning.MMLURedux, tk.budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%q (budget %s)\n", tk.request, tk.budget)
+		if !ok {
+			fmt.Println("  -> no configuration meets this budget; falling back to reflexes")
+			continue
+		}
+		fmt.Printf("  -> %s\n", recipe.Label())
+		fmt.Printf("     expected accuracy %.1f%%, latency %.2fs, %.0f J, $%.3f/1M tokens\n\n",
+			recipe.Accuracy*100, recipe.Latency, recipe.EnergyPerQ, recipe.CostPerM)
+	}
+
+	// For deadline-critical execution the robot pairs a budget-aware model
+	// (L1) with the latency model inversion: deadline -> token budget.
+	fmt.Println("Deadline-to-token-budget mapping for the on-board models:")
+	for _, id := range []edgereasoning.ModelID{
+		edgereasoning.L1Max, edgereasoning.DSR1Llama8B, edgereasoning.DSR1Qwen14B,
+	} {
+		dep, err := platform.Deploy(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s", id)
+		for _, d := range []time.Duration{2 * time.Second, 10 * time.Second, 60 * time.Second} {
+			fmt.Printf("  %s->%4d tok", d, dep.MaxTokensWithin(128, d))
+		}
+		fmt.Println()
+	}
+}

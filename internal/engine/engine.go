@@ -1,0 +1,528 @@
+// Package engine is the simulated serving engine: a vLLM-style runtime
+// that admits requests, prefills prompts, decodes with continuous
+// batching over a paged KV cache, and accounts wall time, power, and
+// energy through the GPU simulator. It is the substrate every
+// latency/energy experiment in the paper runs on.
+package engine
+
+import (
+	"fmt"
+
+	"edgereasoning/internal/gpusim"
+	"edgereasoning/internal/hw"
+	"edgereasoning/internal/kvcache"
+	"edgereasoning/internal/model"
+	"edgereasoning/internal/power"
+)
+
+// Overhead models a host-side inference framework's cost on top of the
+// raw kernels: the Table IX comparison (HF Transformers vs vLLM vs
+// TRT-LLM) reduces to these terms.
+type Overhead struct {
+	Name          string
+	PrefillFactor float64 // multiplies prefill time (graph build, tokenizer)
+	StepFactor    float64 // multiplies per-step decode kernel time
+	PerStepHost   float64 // seconds of host work added per decode step
+}
+
+// VLLM is the baseline framework profile (the paper's engine).
+func VLLM() Overhead { return Overhead{Name: "vLLM", PrefillFactor: 1, StepFactor: 1} }
+
+// normalized returns the profile with zero fields defaulted to identity.
+func (o Overhead) normalized() Overhead {
+	if o.PrefillFactor == 0 {
+		o.PrefillFactor = 1
+	}
+	if o.StepFactor == 0 {
+		o.StepFactor = 1
+	}
+	if o.Name == "" {
+		o.Name = "vLLM"
+	}
+	return o
+}
+
+// Config assembles an engine.
+type Config struct {
+	Spec   model.Spec
+	Device *hw.Device
+	// BlockSize is the KV page size in tokens (default 16).
+	BlockSize int
+	// MemReserve is the fraction of DRAM withheld from the KV cache for
+	// activations and runtime overheads (default 0.10).
+	MemReserve float64
+	// Framework is the host-side overhead profile (default vLLM).
+	Framework Overhead
+}
+
+// Request is one generation job. OutputTokens is decided ahead of
+// execution by the model twin (the engine transports tokens; it does not
+// decide how many the model emits).
+type Request struct {
+	ID           string
+	PromptTokens int
+	OutputTokens int
+}
+
+// Metrics reports one completed request.
+type Metrics struct {
+	ID            string
+	PromptTokens  int
+	OutputTokens  int
+	QueueTime     float64 // seconds waiting for admission
+	PrefillTime   float64
+	DecodeTime    float64
+	PrefillEnergy float64 // joules
+	DecodeEnergy  float64
+}
+
+// TotalTime is the request's service latency (prefill + decode).
+func (m Metrics) TotalTime() float64 { return m.PrefillTime + m.DecodeTime }
+
+// Latency includes queueing.
+func (m Metrics) Latency() float64 { return m.QueueTime + m.TotalTime() }
+
+// Energy is the request's total energy in joules.
+func (m Metrics) Energy() float64 { return m.PrefillEnergy + m.DecodeEnergy }
+
+// TPS is the output tokens per second of service time.
+func (m Metrics) TPS() float64 {
+	if t := m.TotalTime(); t > 0 {
+		return float64(m.OutputTokens) / t
+	}
+	return 0
+}
+
+// BatchMetrics reports a whole workload run.
+type BatchMetrics struct {
+	Requests    []Metrics
+	WallTime    float64 // seconds from first admission to last completion
+	TotalEnergy float64 // joules
+	// TotalTokens counts prompt + generated tokens (the unit the cost
+	// study bills).
+	TotalTokens int
+	// PeakKVBlocks is the cache high-water mark.
+	PeakKVBlocks int
+}
+
+// AvgPower returns mean power over the busy window.
+func (b BatchMetrics) AvgPower() float64 {
+	if b.WallTime <= 0 {
+		return 0
+	}
+	return b.TotalEnergy / b.WallTime
+}
+
+// OutputTokens sums generated tokens.
+func (b BatchMetrics) OutputTokens() int {
+	n := 0
+	for _, m := range b.Requests {
+		n += m.OutputTokens
+	}
+	return n
+}
+
+// UserTPS is the mean per-request decode throughput (the "User TPS" row
+// of Table III).
+func (b BatchMetrics) UserTPS() float64 {
+	if len(b.Requests) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, m := range b.Requests {
+		if m.DecodeTime > 0 {
+			sum += float64(m.OutputTokens) / m.DecodeTime
+		}
+	}
+	return sum / float64(len(b.Requests))
+}
+
+// Engine executes requests on the simulated device.
+type Engine struct {
+	cfg   Config
+	sim   *gpusim.Sim
+	meter *power.Meter
+	cache *kvcache.Cache
+	clock float64
+}
+
+// New builds an engine, verifying the model fits the device and sizing
+// the KV cache from leftover DRAM.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Device == nil {
+		return nil, fmt.Errorf("engine: nil device")
+	}
+	if err := cfg.Device.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Spec.Arch.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 16
+	}
+	if cfg.MemReserve <= 0 {
+		cfg.MemReserve = 0.10
+	}
+	cfg.Framework = cfg.Framework.normalized()
+
+	weights := cfg.Spec.Arch.WeightBytes(cfg.Spec.DType)
+	reserve := int64(float64(cfg.Device.MemCapacity) * cfg.MemReserve)
+	kvBudget := cfg.Device.MemCapacity - weights - reserve
+	if kvBudget <= 0 {
+		return nil, fmt.Errorf("engine: %s (%0.1f GB weights) does not fit %s",
+			cfg.Spec.ID, float64(weights)/1e9, cfg.Device.Name)
+	}
+	cacheCfg := kvcache.ConfigForMemory(kvBudget, cfg.BlockSize, cfg.Spec.Arch.KVBytesPerToken())
+	cache, err := kvcache.New(cacheCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:   cfg,
+		sim:   gpusim.New(cfg.Device),
+		meter: power.NewMeter(cfg.Device),
+		cache: cache,
+	}, nil
+}
+
+// Spec returns the engine's model.
+func (e *Engine) Spec() model.Spec { return e.cfg.Spec }
+
+// Device returns the engine's device.
+func (e *Engine) Device() *hw.Device { return e.cfg.Device }
+
+// Meter exposes the power meter (read-only use).
+func (e *Engine) Meter() *power.Meter { return e.meter }
+
+// Clock returns the simulated time in seconds.
+func (e *Engine) Clock() float64 { return e.clock }
+
+// Reset rewinds the clock and empties the cache.
+func (e *Engine) Reset() error {
+	cacheCfg := kvcache.ConfigForMemory(
+		e.cfg.Device.MemCapacity-e.cfg.Spec.Arch.WeightBytes(e.cfg.Spec.DType)-int64(float64(e.cfg.Device.MemCapacity)*e.cfg.MemReserveFrac()),
+		e.cfg.BlockSize, e.cfg.Spec.Arch.KVBytesPerToken())
+	cache, err := kvcache.New(cacheCfg)
+	if err != nil {
+		return err
+	}
+	e.cache = cache
+	e.clock = 0
+	return nil
+}
+
+// MemReserveFrac exposes the configured reserve fraction.
+func (c Config) MemReserveFrac() float64 {
+	if c.MemReserve <= 0 {
+		return 0.10
+	}
+	return c.MemReserve
+}
+
+// prefill runs a prompt through the simulator and charges framework
+// overhead.
+func (e *Engine) prefill(tokens int) (gpusim.Result, error) {
+	res := e.sim.Prefill(e.cfg.Spec.Arch, e.cfg.Spec.DType, tokens, 1)
+	res.Time *= e.cfg.Framework.PrefillFactor
+	return res, nil
+}
+
+// decodeChunk advances the active contexts n steps and charges framework
+// overhead.
+func (e *Engine) decodeChunk(ctxs []int, n int) gpusim.Result {
+	res := e.sim.DecodeChunk(e.cfg.Spec.Arch, e.cfg.Spec.DType, ctxs, n)
+	res.Time = res.Time*e.cfg.Framework.StepFactor + float64(n)*e.cfg.Framework.PerStepHost
+	return res
+}
+
+// Generate executes one request in isolation (batch 1).
+func (e *Engine) Generate(req Request) (Metrics, error) {
+	b, err := e.Run([]Request{req}, 1)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return b.Requests[0], nil
+}
+
+// activeSeq is a request mid-decode.
+type activeSeq struct {
+	req       Request
+	ctx       int // prompt + generated so far
+	remaining int
+	metrics   Metrics
+	submitted float64
+}
+
+// Run executes requests FCFS with continuous batching up to maxBatch
+// concurrent decoders. Prefill is unbatched (the paper's configuration);
+// decode advances in closed-form chunks between admission and completion
+// events, with chunk energy attributed to active sequences equally.
+func (e *Engine) Run(reqs []Request, maxBatch int) (BatchMetrics, error) {
+	if maxBatch <= 0 {
+		maxBatch = 1
+	}
+	queue := make([]Request, len(reqs))
+	copy(queue, reqs)
+	var active []*activeSeq
+	var out BatchMetrics
+	start := e.clock
+
+	finish := func(i int) error {
+		s := active[i]
+		if err := e.cache.Free(s.req.ID); err != nil {
+			return err
+		}
+		out.Requests = append(out.Requests, s.metrics)
+		out.TotalTokens += s.req.PromptTokens + s.req.OutputTokens
+		active = append(active[:i], active[i+1:]...)
+		return nil
+	}
+
+	// blocksFor mirrors the cache's page arithmetic for admission control.
+	blocksFor := func(tokens int) int {
+		if tokens <= 0 {
+			return 0
+		}
+		return (tokens + e.cfg.BlockSize - 1) / e.cfg.BlockSize
+	}
+	// futureGrowth is the worst-case block demand of the active set's
+	// remaining decode. Admission reserves against it so a request can
+	// never exhaust the cache mid-decode (the simulator's stand-in for
+	// vLLM's preemption machinery).
+	futureGrowth := func() int {
+		g := 0
+		for _, s := range active {
+			g += blocksFor(s.ctx+s.remaining) - blocksFor(s.ctx)
+		}
+		return g
+	}
+
+	for len(queue) > 0 || len(active) > 0 {
+		// Admit while there is room.
+		for len(queue) > 0 && len(active) < maxBatch {
+			req := queue[0]
+			if req.PromptTokens <= 0 {
+				return out, fmt.Errorf("engine: request %q has no prompt", req.ID)
+			}
+			worstCase := blocksFor(req.PromptTokens + req.OutputTokens)
+			if worstCase+futureGrowth() > e.cache.Stats().FreeBlocks {
+				if len(active) > 0 {
+					break // drain the active set to free capacity first
+				}
+				return out, fmt.Errorf("engine: request %q (%d tokens) exceeds KV capacity even alone",
+					req.ID, req.PromptTokens+req.OutputTokens)
+			}
+			if err := e.cache.Allocate(req.ID, req.PromptTokens); err != nil {
+				return out, fmt.Errorf("engine: admit %q: %w", req.ID, err)
+			}
+			queue = queue[1:]
+			s := &activeSeq{req: req, ctx: req.PromptTokens, remaining: req.OutputTokens, submitted: start}
+			s.metrics = Metrics{ID: req.ID, PromptTokens: req.PromptTokens, OutputTokens: req.OutputTokens}
+			s.metrics.QueueTime = e.clock - start
+			res, err := e.prefill(req.PromptTokens)
+			if err != nil {
+				return out, err
+			}
+			e.clock += res.Time
+			s.metrics.PrefillTime = res.Time
+			s.metrics.PrefillEnergy = e.meter.Energy(res)
+			out.TotalEnergy += e.meter.Energy(res)
+			active = append(active, s)
+		}
+		if len(active) == 0 {
+			break
+		}
+		// Decode until the next event: shortest remaining completes, or a
+		// queued request wants admission (chunk at most admitGrain steps
+		// so admission latency stays bounded).
+		chunk := active[0].remaining
+		for _, s := range active {
+			if s.remaining < chunk {
+				chunk = s.remaining
+			}
+		}
+		if chunk <= 0 {
+			// Zero-output request(s): finish immediately.
+			for i := len(active) - 1; i >= 0; i-- {
+				if active[i].remaining == 0 {
+					if err := finish(i); err != nil {
+						return out, err
+					}
+				}
+			}
+			continue
+		}
+		if len(queue) > 0 && len(active) < maxBatch {
+			const admitGrain = 32
+			if chunk > admitGrain {
+				chunk = admitGrain
+			}
+		}
+		ctxs := make([]int, len(active))
+		for i, s := range active {
+			ctxs[i] = s.ctx
+		}
+		res := e.decodeChunk(ctxs, chunk)
+		energy := e.meter.Energy(res)
+		e.clock += res.Time
+		out.TotalEnergy += energy
+		perSeqTime := res.Time
+		perSeqEnergy := energy / float64(len(active))
+		for _, s := range active {
+			for t := 0; t < chunk; t++ {
+				if err := e.cache.AppendToken(s.req.ID); err != nil {
+					return out, fmt.Errorf("engine: decode %q: %w", s.req.ID, err)
+				}
+			}
+			s.ctx += chunk
+			s.remaining -= chunk
+			s.metrics.DecodeTime += perSeqTime
+			s.metrics.DecodeEnergy += perSeqEnergy
+		}
+		for i := len(active) - 1; i >= 0; i-- {
+			if active[i].remaining <= 0 {
+				if err := finish(i); err != nil {
+					return out, err
+				}
+			}
+		}
+	}
+	out.WallTime = e.clock - start
+	out.PeakKVBlocks = e.cache.Stats().PeakUsed
+	return out, nil
+}
+
+// RunParallel implements parallel test-time scaling (§V-E): one prefill
+// at batch 1, then the prompt KV is forked copy-on-write to `factor`
+// decoders which run as one batch. outputs gives each branch's generated
+// length. The returned metrics hold one entry per branch; branch 0 owns
+// the prefill cost.
+func (e *Engine) RunParallel(promptTokens int, outputs []int) (BatchMetrics, error) {
+	if promptTokens <= 0 {
+		return BatchMetrics{}, fmt.Errorf("engine: empty prompt")
+	}
+	if len(outputs) == 0 {
+		return BatchMetrics{}, fmt.Errorf("engine: no branches")
+	}
+	var out BatchMetrics
+	start := e.clock
+
+	// Capacity precheck: the shared prompt plus every branch's private
+	// decode growth must fit, or the fan-out would die mid-decode.
+	blocksFor := func(tokens int) int {
+		if tokens <= 0 {
+			return 0
+		}
+		return (tokens + e.cfg.BlockSize - 1) / e.cfg.BlockSize
+	}
+	need := blocksFor(promptTokens)
+	for _, o := range outputs {
+		// Each branch copies the shared tail block on first write and
+		// then grows privately.
+		need += blocksFor(promptTokens+o) - blocksFor(promptTokens) + 1
+	}
+	if need > e.cache.Stats().FreeBlocks {
+		return out, fmt.Errorf("engine: parallel fan-out of %d branches needs %d KV blocks, %d free",
+			len(outputs), need, e.cache.Stats().FreeBlocks)
+	}
+
+	root := "par-0"
+	if err := e.cache.Allocate(root, promptTokens); err != nil {
+		return out, err
+	}
+	res, err := e.prefill(promptTokens)
+	if err != nil {
+		return out, err
+	}
+	e.clock += res.Time
+	prefillEnergy := e.meter.Energy(res)
+	out.TotalEnergy += prefillEnergy
+
+	type branch struct {
+		id        string
+		ctx       int
+		remaining int
+		m         Metrics
+	}
+	branches := make([]*branch, len(outputs))
+	for i := range outputs {
+		id := fmt.Sprintf("par-%d", i)
+		if i > 0 {
+			if err := e.cache.Fork(root, id); err != nil {
+				return out, err
+			}
+		}
+		branches[i] = &branch{id: id, ctx: promptTokens, remaining: outputs[i]}
+		branches[i].m = Metrics{ID: id, PromptTokens: promptTokens, OutputTokens: outputs[i]}
+	}
+	branches[0].m.PrefillTime = res.Time
+	branches[0].m.PrefillEnergy = prefillEnergy
+
+	activeIdx := make([]int, 0, len(branches))
+	for i := range branches {
+		if branches[i].remaining > 0 {
+			activeIdx = append(activeIdx, i)
+		} else {
+			out.Requests = append(out.Requests, branches[i].m)
+			out.TotalTokens += promptTokens + branches[i].m.OutputTokens
+			if err := e.cache.Free(branches[i].id); err != nil {
+				return out, err
+			}
+		}
+	}
+	for len(activeIdx) > 0 {
+		chunk := branches[activeIdx[0]].remaining
+		for _, i := range activeIdx {
+			if branches[i].remaining < chunk {
+				chunk = branches[i].remaining
+			}
+		}
+		ctxs := make([]int, len(activeIdx))
+		for k, i := range activeIdx {
+			ctxs[k] = branches[i].ctx
+		}
+		dres := e.decodeChunk(ctxs, chunk)
+		energy := e.meter.Energy(dres)
+		e.clock += dres.Time
+		out.TotalEnergy += energy
+		perSeqEnergy := energy / float64(len(activeIdx))
+		next := activeIdx[:0]
+		for _, i := range activeIdx {
+			b := branches[i]
+			for t := 0; t < chunk; t++ {
+				if err := e.cache.AppendToken(b.id); err != nil {
+					return out, err
+				}
+			}
+			b.ctx += chunk
+			b.remaining -= chunk
+			b.m.DecodeTime += dres.Time
+			b.m.DecodeEnergy += perSeqEnergy
+			if b.remaining <= 0 {
+				out.Requests = append(out.Requests, b.m)
+				out.TotalTokens += promptTokens + b.m.OutputTokens
+				if err := e.cache.Free(b.id); err != nil {
+					return out, err
+				}
+			} else {
+				next = append(next, i)
+			}
+		}
+		activeIdx = next
+	}
+	out.WallTime = e.clock - start
+	out.PeakKVBlocks = e.cache.Stats().PeakUsed
+	return out, nil
+}
+
+// CacheStats exposes KV occupancy for tests and examples.
+func (e *Engine) CacheStats() kvcache.Stats { return e.cache.Stats() }
+
+// SimDecodeProbe returns the raw simulator result of a representative
+// decode run at the given geometry, so callers can inspect utilization
+// and power signals without executing a request (used by the Fig 10
+// driver for the GPU-utilization axis).
+func (e *Engine) SimDecodeProbe(prompt, output, batch int) gpusim.Result {
+	return e.sim.DecodeRun(e.cfg.Spec.Arch, e.cfg.Spec.DType, prompt, output, batch)
+}

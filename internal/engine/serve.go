@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"edgereasoning/internal/stats"
+)
+
+// TimedRequest is a request with an arrival time and an optional absolute
+// deadline, for open-loop serving studies (QPS sweeps, SLA audits).
+type TimedRequest struct {
+	Request
+	Arrival  float64 // seconds on the simulated clock
+	Deadline float64 // absolute seconds; 0 means no deadline
+}
+
+// SchedPolicy selects the ready-queue discipline.
+type SchedPolicy int
+
+const (
+	// FCFS admits in arrival order.
+	FCFS SchedPolicy = iota
+	// EDF admits earliest-deadline-first (deadline-less requests last).
+	EDF
+)
+
+// String names the policy.
+func (p SchedPolicy) String() string {
+	if p == EDF {
+		return "EDF"
+	}
+	return "FCFS"
+}
+
+// ServeMetrics extends BatchMetrics with latency percentiles and deadline
+// accounting over an open-loop run.
+type ServeMetrics struct {
+	BatchMetrics
+	P50Latency     float64
+	P95Latency     float64
+	P99Latency     float64
+	MeanLatency    float64
+	DeadlinesMet   int
+	DeadlinesTotal int
+	// Latencies holds per-request (finish − arrival), in completion order.
+	Latencies []float64
+}
+
+// HitRate returns the fraction of deadline-bearing requests that met
+// their deadline (1.0 when none carry deadlines).
+func (s ServeMetrics) HitRate() float64 {
+	if s.DeadlinesTotal == 0 {
+		return 1
+	}
+	return float64(s.DeadlinesMet) / float64(s.DeadlinesTotal)
+}
+
+// Serve executes an open-loop workload: requests become visible at their
+// arrival times, are admitted per the scheduling policy up to maxBatch
+// concurrent decoders, and complete under the same continuous-batching
+// loop as Run. The engine clock must be at or before the earliest arrival.
+func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (ServeMetrics, error) {
+	if maxBatch <= 0 {
+		maxBatch = 1
+	}
+	pending := make([]TimedRequest, len(reqs))
+	copy(pending, reqs)
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Arrival < pending[j].Arrival })
+	if len(pending) > 0 && e.clock > pending[0].Arrival {
+		return ServeMetrics{}, fmt.Errorf("engine: clock %.3f already past first arrival %.3f", e.clock, pending[0].Arrival)
+	}
+
+	var ready []TimedRequest
+	var active []*activeSeq
+	arrivals := make(map[string]float64, len(reqs))
+	deadlines := make(map[string]float64, len(reqs))
+	var out ServeMetrics
+
+	blocksFor := func(tokens int) int {
+		if tokens <= 0 {
+			return 0
+		}
+		return (tokens + e.cfg.BlockSize - 1) / e.cfg.BlockSize
+	}
+	futureGrowth := func() int {
+		g := 0
+		for _, s := range active {
+			g += blocksFor(s.ctx+s.remaining) - blocksFor(s.ctx)
+		}
+		return g
+	}
+	promote := func() {
+		for len(pending) > 0 && pending[0].Arrival <= e.clock+1e-12 {
+			ready = append(ready, pending[0])
+			pending = pending[1:]
+		}
+		if policy == EDF {
+			sort.SliceStable(ready, func(i, j int) bool {
+				di, dj := ready[i].Deadline, ready[j].Deadline
+				if di == 0 {
+					return false
+				}
+				if dj == 0 {
+					return true
+				}
+				return di < dj
+			})
+		}
+	}
+	finish := func(i int) error {
+		s := active[i]
+		if err := e.cache.Free(s.req.ID); err != nil {
+			return err
+		}
+		lat := e.clock - arrivals[s.req.ID]
+		out.Latencies = append(out.Latencies, lat)
+		if d := deadlines[s.req.ID]; d > 0 {
+			out.DeadlinesTotal++
+			if e.clock <= d {
+				out.DeadlinesMet++
+			}
+		}
+		s.metrics.QueueTime = lat - s.metrics.TotalTime()
+		out.Requests = append(out.Requests, s.metrics)
+		out.TotalTokens += s.req.PromptTokens + s.req.OutputTokens
+		active = append(active[:i], active[i+1:]...)
+		return nil
+	}
+
+	start := e.clock
+	for len(pending) > 0 || len(ready) > 0 || len(active) > 0 {
+		promote()
+		// Idle: jump to the next arrival.
+		if len(active) == 0 && len(ready) == 0 {
+			if len(pending) == 0 {
+				break
+			}
+			e.clock = pending[0].Arrival
+			continue
+		}
+		// Admit from the ready queue.
+		for len(ready) > 0 && len(active) < maxBatch {
+			tr := ready[0]
+			if tr.PromptTokens <= 0 {
+				return out, fmt.Errorf("engine: request %q has no prompt", tr.ID)
+			}
+			worstCase := blocksFor(tr.PromptTokens + tr.OutputTokens)
+			if worstCase+futureGrowth() > e.cache.Stats().FreeBlocks {
+				if len(active) > 0 {
+					break
+				}
+				return out, fmt.Errorf("engine: request %q exceeds KV capacity even alone", tr.ID)
+			}
+			ready = ready[1:]
+			if err := e.cache.Allocate(tr.ID, tr.PromptTokens); err != nil {
+				return out, err
+			}
+			arrivals[tr.ID] = tr.Arrival
+			deadlines[tr.ID] = tr.Deadline
+			s := &activeSeq{req: tr.Request, ctx: tr.PromptTokens, remaining: tr.OutputTokens}
+			s.metrics = Metrics{ID: tr.ID, PromptTokens: tr.PromptTokens, OutputTokens: tr.OutputTokens}
+			res, err := e.prefill(tr.PromptTokens)
+			if err != nil {
+				return out, err
+			}
+			e.clock += res.Time
+			s.metrics.PrefillTime = res.Time
+			s.metrics.PrefillEnergy = e.meter.Energy(res)
+			out.TotalEnergy += s.metrics.PrefillEnergy
+			active = append(active, s)
+			promote()
+		}
+		if len(active) == 0 {
+			continue
+		}
+		// Decode until the next event: completion, arrival, or the
+		// admission grain.
+		chunk := active[0].remaining
+		for _, s := range active {
+			if s.remaining < chunk {
+				chunk = s.remaining
+			}
+		}
+		if chunk <= 0 {
+			for i := len(active) - 1; i >= 0; i-- {
+				if active[i].remaining == 0 {
+					if err := finish(i); err != nil {
+						return out, err
+					}
+				}
+			}
+			continue
+		}
+		const admitGrain = 16
+		if (len(pending) > 0 || len(ready) > 0) && chunk > admitGrain {
+			chunk = admitGrain
+		}
+		ctxs := make([]int, len(active))
+		for i, s := range active {
+			ctxs[i] = s.ctx
+		}
+		res := e.decodeChunk(ctxs, chunk)
+		energy := e.meter.Energy(res)
+		e.clock += res.Time
+		out.TotalEnergy += energy
+		perSeqEnergy := energy / float64(len(active))
+		for _, s := range active {
+			for t := 0; t < chunk; t++ {
+				if err := e.cache.AppendToken(s.req.ID); err != nil {
+					return out, err
+				}
+			}
+			s.ctx += chunk
+			s.remaining -= chunk
+			s.metrics.DecodeTime += res.Time
+			s.metrics.DecodeEnergy += perSeqEnergy
+		}
+		for i := len(active) - 1; i >= 0; i-- {
+			if active[i].remaining <= 0 {
+				if err := finish(i); err != nil {
+					return out, err
+				}
+			}
+		}
+	}
+	out.WallTime = e.clock - start
+	out.PeakKVBlocks = e.cache.Stats().PeakUsed
+	if len(out.Latencies) > 0 {
+		out.MeanLatency = stats.Mean(out.Latencies)
+		out.P50Latency = stats.Percentile(out.Latencies, 50)
+		out.P95Latency = stats.Percentile(out.Latencies, 95)
+		out.P99Latency = stats.Percentile(out.Latencies, 99)
+	}
+	return out, nil
+}

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"edgereasoning/internal/model"
+)
+
+func timed(id string, arrival float64, prompt, output int, deadline float64) TimedRequest {
+	return TimedRequest{
+		Request:  Request{ID: id, PromptTokens: prompt, OutputTokens: output},
+		Arrival:  arrival,
+		Deadline: deadline,
+	}
+}
+
+func TestServeSingleRequest(t *testing.T) {
+	e := newOrinEngine(t, model.DSR1Qwen1_5B)
+	m, err := e.Serve([]TimedRequest{timed("a", 5, 64, 100, 0)}, 1, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Requests) != 1 {
+		t.Fatalf("completed %d requests", len(m.Requests))
+	}
+	// The engine must idle-jump to the arrival, then serve.
+	if len(m.Latencies) != 1 || m.Latencies[0] <= 0 {
+		t.Errorf("latency accounting wrong: %v", m.Latencies)
+	}
+	// Latency excludes pre-arrival time.
+	if m.Latencies[0] > 10 {
+		t.Errorf("latency %.2f includes idle time before arrival", m.Latencies[0])
+	}
+	if st := e.CacheStats(); st.UsedBlocks != 0 {
+		t.Errorf("leaked blocks: %+v", st)
+	}
+}
+
+func TestServeRejectsPastArrivals(t *testing.T) {
+	e := newOrinEngine(t, model.DSR1Qwen1_5B)
+	if _, err := e.Generate(Request{ID: "warm", PromptTokens: 32, OutputTokens: 32}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Serve([]TimedRequest{timed("late", 0, 32, 32, 0)}, 1, FCFS); err == nil {
+		t.Error("arrival before the engine clock must be rejected")
+	}
+}
+
+func TestServeLatencyIncludesQueueing(t *testing.T) {
+	e := newOrinEngine(t, model.DSR1Llama8B)
+	// Two requests arriving together, served at batch 1: the second waits.
+	m, err := e.Serve([]TimedRequest{
+		timed("a", 0, 64, 200, 0),
+		timed("b", 0, 64, 200, 0),
+	}, 1, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Latencies) != 2 {
+		t.Fatal("want 2 completions")
+	}
+	if m.Latencies[1] < m.Latencies[0]*1.8 {
+		t.Errorf("second request should wait for the first: %.2f vs %.2f", m.Latencies[1], m.Latencies[0])
+	}
+}
+
+func TestServeDeadlineAccounting(t *testing.T) {
+	e := newOrinEngine(t, model.DSR1Qwen1_5B)
+	m, err := e.Serve([]TimedRequest{
+		timed("fits", 0, 64, 50, 60),     // generous deadline
+		timed("misses", 0, 64, 2000, 10), // 2000 tokens cannot fit 10s
+	}, 2, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DeadlinesTotal != 2 {
+		t.Fatalf("deadline total = %d, want 2", m.DeadlinesTotal)
+	}
+	if m.DeadlinesMet != 1 {
+		t.Errorf("deadlines met = %d, want 1", m.DeadlinesMet)
+	}
+	if math.Abs(m.HitRate()-0.5) > 1e-9 {
+		t.Errorf("hit rate = %v, want 0.5", m.HitRate())
+	}
+}
+
+func TestServeEDFPrioritizesUrgent(t *testing.T) {
+	// Three requests arrive together; the most urgent is listed last.
+	// EDF must serve it first at batch 1; FCFS must not.
+	build := func() []TimedRequest {
+		return []TimedRequest{
+			timed("loose1", 0, 64, 400, 500),
+			timed("loose2", 0, 64, 400, 500),
+			timed("urgent", 0, 64, 100, 18),
+		}
+	}
+	run := func(pol SchedPolicy) ServeMetrics {
+		e := newOrinEngine(t, model.DSR1Qwen1_5B)
+		m, err := e.Serve(build(), 1, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	fcfs := run(FCFS)
+	edf := run(EDF)
+	if edf.DeadlinesMet <= fcfs.DeadlinesMet {
+		t.Errorf("EDF met %d deadlines, FCFS %d; EDF should win", edf.DeadlinesMet, fcfs.DeadlinesMet)
+	}
+	// EDF completes "urgent" first.
+	if edf.Requests[0].ID != "urgent" {
+		t.Errorf("EDF first completion = %s, want urgent", edf.Requests[0].ID)
+	}
+}
+
+func TestServeIdleGapsDoNotBill(t *testing.T) {
+	e := newOrinEngine(t, model.DSR1Qwen1_5B)
+	// Two requests separated by a long idle gap.
+	m, err := e.Serve([]TimedRequest{
+		timed("a", 0, 64, 50, 0),
+		timed("b", 1000, 64, 50, 0),
+	}, 1, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both latencies small despite the 1000s wall span.
+	for _, l := range m.Latencies {
+		if l > 30 {
+			t.Errorf("latency %.1fs includes the idle gap", l)
+		}
+	}
+	if m.WallTime < 1000 {
+		t.Errorf("wall time %.1f should span the idle gap", m.WallTime)
+	}
+}
+
+func TestServeEnergyConservation(t *testing.T) {
+	e := newOrinEngine(t, model.DSR1Qwen1_5B)
+	var reqs []TimedRequest
+	for i := 0; i < 10; i++ {
+		reqs = append(reqs, timed(fmt.Sprintf("q%d", i), float64(i)*2, 64, 60+10*i, 0))
+	}
+	m, err := e.Serve(reqs, 4, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, r := range m.Requests {
+		sum += r.Energy()
+	}
+	if math.Abs(sum-m.TotalEnergy)/m.TotalEnergy > 1e-9 {
+		t.Errorf("energy: per-request sum %.2f vs total %.2f", sum, m.TotalEnergy)
+	}
+	if st := e.CacheStats(); st.UsedBlocks != 0 {
+		t.Errorf("leaked blocks: %+v", st)
+	}
+}
+
+func TestServePercentilesOrdered(t *testing.T) {
+	e := newOrinEngine(t, model.DSR1Qwen1_5B)
+	var reqs []TimedRequest
+	for i := 0; i < 30; i++ {
+		reqs = append(reqs, timed(fmt.Sprintf("q%d", i), float64(i), 64, 40+5*i, 0))
+	}
+	m, err := e.Serve(reqs, 4, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(m.P50Latency <= m.P95Latency && m.P95Latency <= m.P99Latency) {
+		t.Errorf("percentiles out of order: %v %v %v", m.P50Latency, m.P95Latency, m.P99Latency)
+	}
+	if m.MeanLatency <= 0 {
+		t.Error("mean latency missing")
+	}
+}
+
+func TestSchedPolicyString(t *testing.T) {
+	if FCFS.String() != "FCFS" || EDF.String() != "EDF" {
+		t.Error("policy names wrong")
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationIDsRegistered(t *testing.T) {
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range []string{"specdec", "offload", "powermodes", "batchsweep", "saturation"} {
+		if !have[id] {
+			t.Errorf("ablation %q not registered", id)
+		}
+	}
+}
+
+// The batch sweep must show monotone cost decline and user-TPS decline.
+func TestBatchSweepMonotonicity(t *testing.T) {
+	tb := findTable(t, runOne(t, "batchsweep"), "batchsweep")
+	var prevCost, prevUserTPS, prevWall float64
+	for i, row := range tb.Rows {
+		wall := cellFloat(t, row[1])
+		userTPS := cellFloat(t, row[2])
+		aggTPS := cellFloat(t, row[3])
+		costPerM := cellFloat(t, row[5])
+		if i > 0 {
+			if costPerM >= prevCost {
+				t.Errorf("batch %s: $/1M %.3f did not fall below %.3f", row[0], costPerM, prevCost)
+			}
+			if userTPS > prevUserTPS+0.5 {
+				t.Errorf("batch %s: user TPS should fall with batching", row[0])
+			}
+			if wall >= prevWall {
+				t.Errorf("batch %s: wall time should fall with batching", row[0])
+			}
+		}
+		if aggTPS < userTPS-0.5 {
+			t.Errorf("aggregate TPS %.1f below user TPS %.1f", aggTPS, userTPS)
+		}
+		prevCost, prevUserTPS, prevWall = costPerM, userTPS, wall
+	}
+}
+
+// Power-mode derating: lower caps mean slower decode but the energy per
+// token stays in a sane band.
+func TestPowerModesDerating(t *testing.T) {
+	tb := findTable(t, runOne(t, "powermodes"), "powermodes")
+	// Collect TBT per (model, mode).
+	tbt := map[string]map[string]float64{}
+	for _, row := range tb.Rows {
+		m, mode := row[0], row[1]
+		if tbt[m] == nil {
+			tbt[m] = map[string]float64{}
+		}
+		tbt[m][mode] = cellFloat(t, row[2])
+	}
+	for m, modes := range tbt {
+		if modes["15W"] <= modes["MAXN"] {
+			t.Errorf("%s: 15W TBT (%.1f) must exceed MAXN (%.1f)", m, modes["15W"], modes["MAXN"])
+		}
+		if modes["30W"] <= modes["50W"] {
+			t.Errorf("%s: 30W must be slower than 50W", m)
+		}
+	}
+}
+
+// Speculative decoding: high acceptance with the 14B target must win.
+func TestSpecdecShowsWins(t *testing.T) {
+	tb := findTable(t, runOne(t, "specdec"), "specdec")
+	bestSpeedup := 0.0
+	for _, row := range tb.Rows {
+		if row[0] == "dsr1-qwen-14b" {
+			if s := cellFloat(t, row[5]); s > bestSpeedup {
+				bestSpeedup = s
+			}
+		}
+	}
+	if bestSpeedup < 1.5 {
+		t.Errorf("best 14B speculative speedup = %.2f, expected > 1.5x with a 1.5B draft", bestSpeedup)
+	}
+}
+
+// Offload ablation: reductions grow with overlap; the overhead-bound 1.5B
+// gains the most (up to ~30%), the bandwidth-bound 14B the least.
+func TestOffloadReductions(t *testing.T) {
+	tb := findTable(t, runOne(t, "offload"), "offload")
+	maxByModel := map[string]float64{}
+	for _, row := range tb.Rows {
+		red := cellFloat(t, row[3])
+		if red < -0.01 || red > 35 {
+			t.Errorf("offload reduction %.1f%% out of range in row %v", red, row)
+		}
+		if red > maxByModel[row[0]] {
+			maxByModel[row[0]] = red
+		}
+	}
+	if maxByModel["dsr1-qwen-1.5b"] <= maxByModel["dsr1-qwen-14b"] {
+		t.Errorf("overhead-bound 1.5B (%.1f%%) should gain more than the 14B (%.1f%%)",
+			maxByModel["dsr1-qwen-1.5b"], maxByModel["dsr1-qwen-14b"])
+	}
+}
+
+// Saturation thresholds fall in the paper's few-hundred-token range.
+func TestSaturationThresholds(t *testing.T) {
+	tb := findTable(t, runOne(t, "saturation"), "saturation")
+	if len(tb.Rows) < 4 {
+		t.Fatalf("want 4 models, got %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		sat := cellFloat(t, row[1])
+		if sat < 100 || sat > 1500 {
+			t.Errorf("%s: saturation %.0f tokens outside plausible range", row[0], sat)
+		}
+	}
+	// The 1.5B-class saturates earlier than the 8B.
+	var small, eightB float64
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "dsr1-qwen-1.5b":
+			small = cellFloat(t, row[1])
+		case "dsr1-llama-8b":
+			eightB = cellFloat(t, row[1])
+		}
+	}
+	if small >= eightB {
+		t.Errorf("1.5B should saturate before the 8B (%.0f vs %.0f)", small, eightB)
+	}
+}
+
+// Every ablation table carries its experimental note or sane title.
+func TestAblationTitlesMentionContext(t *testing.T) {
+	for _, id := range []string{"specdec", "offload"} {
+		tables := runOne(t, id)
+		joined := tables[0].Title + strings.Join(tables[0].Notes, " ")
+		if !strings.Contains(joined, "§VI") && !strings.Contains(joined, "ablation") {
+			t.Errorf("%s: table should reference its §VI provenance", id)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edgereasoning/internal/control"
+	"edgereasoning/internal/core"
+	"edgereasoning/internal/data"
+	"edgereasoning/internal/fit"
+	"edgereasoning/internal/gpusim"
+	"edgereasoning/internal/hw"
+	"edgereasoning/internal/llm"
+	"edgereasoning/internal/model"
+	"edgereasoning/internal/power"
+)
+
+func init() {
+	register("fig2", fig2PrefillLatency)
+	register("fig3", fig3DecodeLatency)
+	register("table6", table6LatencyMAPE)
+	register("table7", table7PrefillDecodeRatios)
+	register("fig4", fig4PrefillPowerEnergy)
+	register("fig5", fig5DecodePowerEnergy)
+	register("table8", table8EnergyMAPE)
+	register("cpu", cpuVsGPU)
+}
+
+// fig2PrefillLatency reproduces Fig 2 (prefill latency vs input length,
+// with the 128-token steps) and Table IV (fitted Eqn 1 coefficients).
+func fig2PrefillLatency(opts Options) ([]Table, error) {
+	sim := gpusim.New(hw.JetsonAGXOrin64GB())
+	series := Table{
+		ID: "fig2", Title: "Prefill latency vs. input sequence length",
+		Columns: []string{"model", "input_len", "latency_s"},
+	}
+	coeffs := Table{
+		ID: "table4", Title: "Fitted coefficients for prefill latency model (vs. paper)",
+		Columns: []string{"model", "a", "b", "c", "paper_a", "paper_b", "paper_c", "fit_mape_pct"},
+	}
+	paper := core.PaperPrefillModels()
+	for _, spec := range model.DSR1Family() {
+		for i := 16; i <= 640; i += 16 {
+			res := sim.Prefill(spec.Arch, spec.DType, i, 1)
+			series.AddRow(string(spec.ID), di(i), f4(res.Time))
+		}
+		pm, rep, err := core.FitPrefillModel(sim, spec.Arch, spec.DType, 2048)
+		if err != nil {
+			return nil, err
+		}
+		pp := paper[spec.ID]
+		coeffs.AddRow(string(spec.ID), sci(pm.A), sci(pm.B), f3(pm.C),
+			sci(pp.A), sci(pp.B), f3(pp.C), f1(rep.MAPE*100))
+	}
+	return []Table{series, coeffs}, nil
+}
+
+// fig3DecodeLatency reproduces Fig 3 (decode latency vs output length;
+// TBT vs input length) and Table V (fitted Eqn 2 coefficients).
+func fig3DecodeLatency(opts Options) ([]Table, error) {
+	sim := gpusim.New(hw.JetsonAGXOrin64GB())
+	latSeries := Table{
+		ID: "fig3a", Title: "Decode latency vs output length (input = 512)",
+		Columns: []string{"model", "output_len", "latency_s"},
+	}
+	tbtSeries := Table{
+		ID: "fig3b", Title: "Time between tokens vs input length",
+		Columns: []string{"model", "input_len", "tbt_s"},
+	}
+	coeffs := Table{
+		ID: "table5", Title: "Fitted coefficients for decode latency model (vs. paper)",
+		Columns: []string{"model", "m", "n", "paper_m", "paper_n", "fit_mape_pct"},
+		Notes:   []string{"paper_n for the 8B follows the prose TBT (~0.096s); Table V's 0.010 is a typo"},
+	}
+	paper := core.PaperDecodeModels()
+	for _, spec := range model.DSR1Family() {
+		for _, o := range []int{64, 256, 512, 1024, 2048, 3072, 4096} {
+			res := sim.DecodeRun(spec.Arch, spec.DType, 512, o, 1)
+			latSeries.AddRow(string(spec.ID), di(o), f2(res.Time))
+		}
+		for _, i := range []int{1, 256, 512, 1024, 2048, 4096} {
+			tbtSeries.AddRow(string(spec.ID), di(i), f4(sim.TBT(spec.Arch, spec.DType, i)))
+		}
+		dm, rep, err := core.FitDecodeModel(sim, spec.Arch, spec.DType)
+		if err != nil {
+			return nil, err
+		}
+		pp := paper[spec.ID]
+		coeffs.AddRow(string(spec.ID), sci(dm.M), f4(dm.N), sci(pp.M), f4(pp.N), f2(rep.MAPE*100))
+	}
+	return []Table{latSeries, tbtSeries, coeffs}, nil
+}
+
+// heldOutWorkload samples (prompt, output) pairs from real twin behaviour
+// for validation, as the paper validates on 50 held-out MMLU questions.
+func heldOutWorkload(spec model.Spec, opts Options, n int) ([][2]int, error) {
+	bank := data.MustLoad(data.MMLURedux, opts.Seed+1) // held-out: different seed
+	tw := llm.NewTwin(spec, bank, opts.Seed+1)
+	var out [][2]int
+	for _, q := range bank.Questions[:n] {
+		g, err := tw.Generate(q, control.BasePolicy())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, [2]int{q.PromptTokens, g.OutputTokens})
+	}
+	return out, nil
+}
+
+// table6LatencyMAPE reproduces Table VI: latency-model MAPE on 50
+// held-out questions.
+func table6LatencyMAPE(opts Options) ([]Table, error) {
+	sim := gpusim.New(hw.JetsonAGXOrin64GB())
+	t := Table{
+		ID: "table6", Title: "MAPE of latency model on 50 held-out questions (paper: <2% total)",
+		Columns: []string{"model", "prefill_pct", "decode_pct", "total_pct"},
+	}
+	for _, spec := range model.DSR1Family() {
+		lm, err := core.FitLatencyModel(sim, spec)
+		if err != nil {
+			return nil, err
+		}
+		workload, err := heldOutWorkload(spec, opts, 50)
+		if err != nil {
+			return nil, err
+		}
+		p, d, tot := core.ValidateLatencyModel(sim, spec.Arch, spec.DType, lm, workload)
+		t.AddRow(string(spec.ID), f2(p*100), f2(d*100), f2(tot*100))
+	}
+	return []Table{t}, nil
+}
+
+// table7PrefillDecodeRatios reproduces Table VII: token and latency
+// ratios over the full MMLU-Redux run.
+func table7PrefillDecodeRatios(opts Options) ([]Table, error) {
+	sim := gpusim.New(hw.JetsonAGXOrin64GB())
+	bank := data.MustLoad(data.MMLURedux, opts.Seed)
+	n := opts.sample(bank.Size())
+	sub := bank.Subsample(n)
+	t := Table{
+		ID: "table7", Title: "Prefill-to-decode ratios, full MMLU-Redux (paper: 1:2.4-7.3 tokens, 1:192-569 latency)",
+		Columns: []string{"model", "p_tokens", "d_tokens", "token_ratio", "latency_ratio", "decode_share_pct"},
+	}
+	for _, spec := range model.DSR1Family() {
+		tw := llm.NewTwin(spec, bank, opts.Seed)
+		var pTok, dTok int
+		var pLat, dLat float64
+		for _, q := range sub.Questions {
+			g, err := tw.Generate(q, control.BasePolicy())
+			if err != nil {
+				return nil, err
+			}
+			pTok += q.PromptTokens
+			dTok += g.OutputTokens
+			pLat += sim.Prefill(spec.Arch, spec.DType, q.PromptTokens, 1).Time
+			dLat += sim.DecodeRun(spec.Arch, spec.DType, q.PromptTokens, g.OutputTokens, 1).Time
+		}
+		t.AddRow(string(spec.ID), di(pTok), di(dTok),
+			fmt.Sprintf("1:%.1f", float64(dTok)/float64(pTok)),
+			fmt.Sprintf("1:%.0f", dLat/pLat),
+			pct(dLat/(pLat+dLat)))
+	}
+	return []Table{t}, nil
+}
+
+// fig4PrefillPowerEnergy reproduces Fig 4: prefill power and energy per
+// token vs input length.
+func fig4PrefillPowerEnergy(opts Options) ([]Table, error) {
+	d := hw.JetsonAGXOrin64GB()
+	sim := gpusim.New(d)
+	meter := power.NewMeter(d)
+	t := Table{
+		ID: "fig4", Title: "Prefill power and energy/token vs input length",
+		Columns: []string{"model", "input_len", "power_w", "energy_j_per_tok"},
+	}
+	for _, spec := range model.DSR1Family() {
+		for _, i := range []int{128, 256, 512, 1024, 2048, 3072, 4096} {
+			res := sim.Prefill(spec.Arch, spec.DType, i, 1)
+			t.AddRow(string(spec.ID), di(i), f1(meter.ObservedPower(res)), f4(meter.EnergyPerToken(res)))
+		}
+	}
+	return []Table{t}, nil
+}
+
+// fig5DecodePowerEnergy reproduces Fig 5: decode power and energy per
+// token vs output length at 512-token input.
+func fig5DecodePowerEnergy(opts Options) ([]Table, error) {
+	d := hw.JetsonAGXOrin64GB()
+	sim := gpusim.New(d)
+	meter := power.NewMeter(d)
+	t := Table{
+		ID: "fig5", Title: "Decode power and energy/token vs output length (input = 512)",
+		Columns: []string{"model", "output_len", "power_w", "energy_j_per_tok"},
+	}
+	for _, spec := range model.DSR1Family() {
+		for _, o := range []int{128, 256, 512, 1024, 1536, 2048} {
+			res := sim.DecodeRun(spec.Arch, spec.DType, 512, o, 1)
+			t.AddRow(string(spec.ID), di(o), f1(meter.Power(res)), f3(meter.EnergyPerToken(res)))
+		}
+	}
+	return []Table{t}, nil
+}
+
+// table8EnergyMAPE reproduces Table VIII (energy-model MAPE) and dumps
+// the fitted power/energy coefficients (Tables XX/XXI analogues).
+func table8EnergyMAPE(opts Options) ([]Table, error) {
+	d := hw.JetsonAGXOrin64GB()
+	sim := gpusim.New(d)
+	meter := power.NewMeter(d)
+	mape := Table{
+		ID: "table8", Title: "MAPE of energy model (paper: ~6% decode/total)",
+		Columns: []string{"model", "total_pct"},
+	}
+	params := Table{
+		ID: "table21", Title: "Fitted decode power/energy model parameters (Table XXI analogue)",
+		Columns: []string{"model", "power_alpha", "power_beta", "energy_alpha", "energy_beta"},
+	}
+	for _, spec := range model.DSR1Family() {
+		pe, err := core.FitPrefillEnergy(sim, meter, spec.Arch, spec.DType)
+		if err != nil {
+			return nil, err
+		}
+		de, err := core.FitDecodeEnergy(sim, meter, spec.Arch, spec.DType)
+		if err != nil {
+			return nil, err
+		}
+		workload, err := heldOutWorkload(spec, opts, 30)
+		if err != nil {
+			return nil, err
+		}
+		m := core.ValidateEnergyModel(sim, meter, spec.Arch, spec.DType, pe, de, workload)
+		mape.AddRow(string(spec.ID), f1(m*100))
+
+		dp, err := core.FitDecodePower(sim, meter, spec.Arch, spec.DType)
+		if err != nil {
+			return nil, err
+		}
+		pAlpha, pBeta := logLinearTerms(dp.Curve.High)
+		eAlpha, eBeta := logLinearTerms(de.Curve.High)
+		params.AddRow(string(spec.ID), f3(pAlpha), f3(pBeta), f4(eAlpha), f4(eBeta))
+	}
+	return []Table{mape, params}, nil
+}
+
+// logLinearTerms extracts (α, β) from a fitted y = α·ln(x) + β branch,
+// or zeros when the branch has another form.
+func logLinearTerms(c fit.Curve) (alpha, beta float64) {
+	if ll, ok := c.(fit.LogLinear); ok {
+		return ll.Alpha, ll.Beta
+	}
+	return 0, 0
+}
+
+// cpuVsGPU reproduces Tables XVI and XVII: the ARM Cortex-A78AE complex
+// as an alternative inference engine.
+func cpuVsGPU(opts Options) ([]Table, error) {
+	gpu := gpusim.New(hw.JetsonAGXOrin64GB())
+	cpu := gpusim.New(hw.OrinCortexA78AE())
+	prefill := Table{
+		ID: "table16", Title: "Prefill latency: CPU vs GPU (s)",
+		Columns: []string{"input_len", "model", "cpu_s", "gpu_s", "gpu_speedup"},
+	}
+	for _, n := range []int{128, 256, 512, 1024} {
+		for _, spec := range model.DSR1Family() {
+			tc := cpu.Prefill(spec.Arch, spec.DType, n, 1).Time
+			tg := gpu.Prefill(spec.Arch, spec.DType, n, 1).Time
+			prefill.AddRow(di(n), string(spec.ID), f2(tc), f3(tg), f1(tc/tg))
+		}
+	}
+	decode := Table{
+		ID: "table17", Title: "Decode latency: CPU vs GPU (s), input 512",
+		Columns: []string{"output_len", "model", "cpu_s", "gpu_s", "gpu_speedup"},
+		Notes:   []string{"the paper's 64-token row is anomalous (0.81 s/token vs 0.10 at all other lengths); we report consistent sweeps"},
+	}
+	for _, o := range []int{64, 128, 256, 1024} {
+		for _, spec := range model.DSR1Family()[1:] { // 8B and 14B, as in the paper
+			tc := cpu.DecodeRun(spec.Arch, spec.DType, 512, o, 1).Time
+			tg := gpu.DecodeRun(spec.Arch, spec.DType, 512, o, 1).Time
+			decode.AddRow(di(o), string(spec.ID), f1(tc), f1(tg), f1(tc/tg))
+		}
+	}
+	return []Table{prefill, decode}, nil
+}

@@ -1,0 +1,96 @@
+package fit
+
+import (
+	"errors"
+	"math"
+)
+
+// ExpDecay is a fitted y = A·exp(−λ·x) + C model — the form the paper uses
+// for prefill energy per token at short input lengths (Eqn 5, Table XX).
+type ExpDecay struct {
+	A, Lambda, C float64
+}
+
+// Eval evaluates the model at x.
+func (e ExpDecay) Eval(x float64) float64 {
+	return e.A*math.Exp(-e.Lambda*x) + e.C
+}
+
+// ExpDecayFit fits y = A·exp(−λx) + C by scanning λ over a logarithmic
+// grid and solving the remaining linear system (A, C) in closed form for
+// each candidate, keeping the λ with the lowest squared error. This is
+// robust for the decay rates seen in the paper (λ ∈ [1e−4, 1]) and needs
+// no derivatives.
+func ExpDecayFit(x, y []float64) (ExpDecay, error) {
+	if len(x) != len(y) || len(x) < 3 {
+		return ExpDecay{}, errors.New("fit: exp decay needs >= 3 samples")
+	}
+	best := ExpDecay{}
+	bestErr := math.Inf(1)
+	// Two-stage grid: coarse scan then refinement around the winner.
+	lambdas := logGrid(1e-5, 1.0, 60)
+	for stage := 0; stage < 2; stage++ {
+		for _, lam := range lambdas {
+			a, c, ok := solveAmplitudeOffset(x, y, lam)
+			if !ok {
+				continue
+			}
+			cand := ExpDecay{A: a, Lambda: lam, C: c}
+			se := 0.0
+			for i := range x {
+				r := cand.Eval(x[i]) - y[i]
+				se += r * r
+			}
+			if se < bestErr {
+				bestErr = se
+				best = cand
+			}
+		}
+		// Refine: dense grid spanning one coarse step either side.
+		lo := best.Lambda / 1.3
+		hi := best.Lambda * 1.3
+		lambdas = linGrid(lo, hi, 80)
+	}
+	if math.IsInf(bestErr, 1) {
+		return ExpDecay{}, ErrSingular
+	}
+	return best, nil
+}
+
+// solveAmplitudeOffset solves the linear subproblem y ≈ A·e^(−λx) + C for
+// fixed λ.
+func solveAmplitudeOffset(x, y []float64, lambda float64) (a, c float64, ok bool) {
+	n := float64(len(x))
+	var se, see, sy, sey float64
+	for i := range x {
+		e := math.Exp(-lambda * x[i])
+		se += e
+		see += e * e
+		sy += y[i]
+		sey += e * y[i]
+	}
+	det := see*n - se*se
+	if math.Abs(det) < 1e-18 {
+		return 0, 0, false
+	}
+	a = (sey*n - se*sy) / det
+	c = (see*sy - se*sey) / det
+	return a, c, true
+}
+
+func logGrid(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := range out {
+		out[i] = math.Exp(llo + (lhi-llo)*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+func linGrid(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}

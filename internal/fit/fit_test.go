@@ -1,0 +1,226 @@
+package fit
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPolyFitExactQuadratic(t *testing.T) {
+	// y = 2x² + 3x + 4
+	x := []float64{-2, -1, 0, 1, 2, 3}
+	y := make([]float64, len(x))
+	for i, xv := range x {
+		y[i] = 2*xv*xv + 3*xv + 4
+	}
+	p, err := PolyFit(x, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 3, 2}
+	for i := range want {
+		if !approx(p.Coeffs[i], want[i], 1e-9) {
+			t.Errorf("coeff[%d] = %v, want %v", i, p.Coeffs[i], want[i])
+		}
+	}
+}
+
+func TestPolyFitUnderdetermined(t *testing.T) {
+	_, err := PolyFit([]float64{1, 2}, []float64{1, 2}, 2)
+	if err == nil {
+		t.Error("expected error with fewer samples than coefficients")
+	}
+}
+
+func TestPolyFitMismatched(t *testing.T) {
+	if _, err := PolyFit([]float64{1, 2, 3}, []float64{1}, 1); err == nil {
+		t.Error("expected error on x/y mismatch")
+	}
+}
+
+func TestPolyEvalHorner(t *testing.T) {
+	p := Poly{Coeffs: []float64{1, 2, 3}} // 3x²+2x+1
+	if got := p.Eval(2); got != 17 {
+		t.Errorf("Eval(2) = %v, want 17", got)
+	}
+}
+
+func TestPolyString(t *testing.T) {
+	p := Poly{Coeffs: []float64{0.046, 2.31e-6, 1.56e-7}}
+	s := p.String()
+	if s == "" || s == "0" {
+		t.Errorf("unexpected String: %q", s)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 2x+1
+	m, n, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m, 2, 1e-9) || !approx(n, 1, 1e-9) {
+		t.Errorf("m,n = %v,%v want 2,1", m, n)
+	}
+}
+
+func TestLogLinearFitRecovers(t *testing.T) {
+	// y = 8.8·ln(x) + 2.7 (the paper's 8B decode power fit, Table XXI)
+	x := []float64{64, 128, 256, 512, 1024, 2048}
+	y := make([]float64, len(x))
+	for i, xv := range x {
+		y[i] = 8.806744*math.Log(xv) + 2.701709
+	}
+	ll, err := LogLinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(ll.Alpha, 8.806744, 1e-6) || !approx(ll.Beta, 2.701709, 1e-5) {
+		t.Errorf("got α=%v β=%v", ll.Alpha, ll.Beta)
+	}
+}
+
+func TestLogLinearFitRejectsNonPositiveX(t *testing.T) {
+	if _, err := LogLinearFit([]float64{0, 1, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("expected error for x<=0")
+	}
+}
+
+func TestExpDecayFitRecovers(t *testing.T) {
+	// Paper Table XX 1.5B prefill energy: A=0.07308, λ=0.03195, C=0.000923
+	truth := ExpDecay{A: 0.07308, Lambda: 0.03195, C: 0.000923}
+	var x, y []float64
+	for i := 8; i <= 512; i += 16 {
+		x = append(x, float64(i))
+		y = append(y, truth.Eval(float64(i)))
+	}
+	got, err := ExpDecayFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got.Lambda, truth.Lambda, truth.Lambda*0.05) {
+		t.Errorf("lambda = %v, want ~%v", got.Lambda, truth.Lambda)
+	}
+	if !approx(got.A, truth.A, truth.A*0.05) {
+		t.Errorf("A = %v, want ~%v", got.A, truth.A)
+	}
+	// MAPE of reconstruction should be tiny.
+	for i := range x {
+		if !approx(got.Eval(x[i]), y[i], math.Abs(y[i])*0.02+1e-9) {
+			t.Fatalf("reconstruction off at x=%v: %v vs %v", x[i], got.Eval(x[i]), y[i])
+		}
+	}
+}
+
+func TestExpDecayFitTooFewSamples(t *testing.T) {
+	if _, err := ExpDecayFit([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("expected error with <3 samples")
+	}
+}
+
+func TestPiecewiseConstLogFitRecovers(t *testing.T) {
+	// Eqn 6 shape: 5.9 W below 64, then y = y·ln(O) + z above.
+	truth := Piecewise{
+		Breakpoint: 64,
+		Low:        Constant{Value: 5.9},
+		High:       LogLinear{Alpha: 3.0, Beta: -6.0},
+	}
+	var x, y []float64
+	for _, xv := range []float64{4, 8, 16, 32, 48, 64, 96, 128, 256, 512, 1024, 2048} {
+		x = append(x, xv)
+		y = append(y, truth.Eval(xv))
+	}
+	got, err := PiecewiseConstLogFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !approx(got.Eval(x[i]), y[i], math.Abs(y[i])*0.05+0.3) {
+			t.Errorf("x=%v: got %v want %v", x[i], got.Eval(x[i]), y[i])
+		}
+	}
+}
+
+func TestPiecewiseExpLogFitRecovers(t *testing.T) {
+	// Table XX 8B shape: exp decay then log.
+	truth := Piecewise{
+		Breakpoint: 640,
+		Low:        ExpDecay{A: 0.15871, Lambda: 0.03240, C: 0.00553},
+		High:       LogLinear{Alpha: 0.01233, Beta: -0.07349},
+	}
+	var x, y []float64
+	for _, xv := range []float64{16, 32, 64, 96, 128, 192, 256, 384, 512, 640, 768, 1024, 1536, 2048, 3072, 4096} {
+		x = append(x, xv)
+		y = append(y, truth.Eval(xv))
+	}
+	got, err := PiecewiseExpLogFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		want := y[i]
+		if !approx(got.Eval(x[i]), want, math.Abs(want)*0.15+0.002) {
+			t.Errorf("x=%v: got %v want %v", x[i], got.Eval(x[i]), want)
+		}
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := solveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 1, 1e-9) || !approx(x[1], 3, 1e-9) {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, err := solveLinear(a, b); err == nil {
+		t.Error("expected singular error")
+	}
+}
+
+// Property: PolyFit round-trips random quadratics through noiseless samples.
+func TestPolyFitRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 1))
+		a := r.Float64()*4 - 2
+		b := r.Float64()*4 - 2
+		c := r.Float64()*4 - 2
+		var x, y []float64
+		for i := 0; i < 12; i++ {
+			xv := float64(i) * 0.7
+			x = append(x, xv)
+			y = append(y, a*xv*xv+b*xv+c)
+		}
+		p, err := PolyFit(x, y, 2)
+		if err != nil {
+			return false
+		}
+		return approx(p.Coeffs[2], a, 1e-6) && approx(p.Coeffs[1], b, 1e-6) && approx(p.Coeffs[0], c, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: piecewise Eval picks the correct branch at and around the
+// breakpoint.
+func TestPiecewiseBranchSelection(t *testing.T) {
+	p := Piecewise{Breakpoint: 10, Low: Constant{Value: 1}, High: Constant{Value: 2}}
+	if p.Eval(10) != 1 {
+		t.Error("x == breakpoint must use low branch")
+	}
+	if p.Eval(10.01) != 2 {
+		t.Error("x > breakpoint must use high branch")
+	}
+}

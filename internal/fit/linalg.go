@@ -1,0 +1,97 @@
+// Package fit implements the curve-fitting toolbox used to derive the
+// paper's analytical performance models from simulated measurements:
+// polynomial least squares (Eqn 1, 2), log-linear fits (Eqn 4, 6 upper
+// branches), exponential-decay fits (Eqn 5 lower branch), and piecewise
+// composition with breakpoint search.
+package fit
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a least-squares system has no unique
+// solution (e.g. fewer distinct samples than coefficients).
+var ErrSingular = errors.New("fit: singular system (not enough independent samples)")
+
+// solveLinear solves A x = b in place using Gaussian elimination with
+// partial pivoting. A is row-major n×n; b has length n.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, errors.New("fit: non-square system")
+		}
+	}
+	if len(b) != n {
+		return nil, errors.New("fit: dimension mismatch")
+	}
+	// Forward elimination with partial pivoting.
+	for col := 0; col < n; col++ {
+		pivot := col
+		for row := col + 1; row < n; row++ {
+			if math.Abs(a[row][col]) > math.Abs(a[pivot][col]) {
+				pivot = row
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-14 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for row := col + 1; row < n; row++ {
+			f := a[row][col] / a[col][col]
+			for k := col; k < n; k++ {
+				a[row][k] -= f * a[col][k]
+			}
+			b[row] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= a[i][k] * x[k]
+		}
+		x[i] = sum / a[i][i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves the overdetermined system design·coef ≈ y via the
+// normal equations. design is m×p (m samples, p basis functions). Callers
+// supply arbitrary basis functions — e.g. the paper's decode model fits
+// coefficients over the basis {O, I·O + O(O−1)/2} with no intercept.
+func LeastSquares(design [][]float64, y []float64) ([]float64, error) {
+	return leastSquares(design, y)
+}
+
+// leastSquares solves the overdetermined system design·coef ≈ y via the
+// normal equations. design is m×p (m samples, p basis functions).
+func leastSquares(design [][]float64, y []float64) ([]float64, error) {
+	m := len(design)
+	if m == 0 || len(y) != m {
+		return nil, errors.New("fit: empty or mismatched data")
+	}
+	p := len(design[0])
+	// Normal equations: (XᵀX) coef = Xᵀy.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	for r := 0; r < m; r++ {
+		row := design[r]
+		if len(row) != p {
+			return nil, errors.New("fit: ragged design matrix")
+		}
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			xty[i] += row[i] * y[r]
+		}
+	}
+	return solveLinear(xtx, xty)
+}

@@ -1,0 +1,101 @@
+package fit
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// Fits must tolerate measurement noise at the level real power/latency
+// sweeps carry (a few percent), since the drivers feed them simulated
+// measurements with deterministic jitter.
+
+func TestPolyFitWithNoise(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 22))
+	truth := Poly{Coeffs: []float64{0.104, 2.9e-4, 6.65e-7}} // paper 8B prefill
+	var x, y []float64
+	for i := 64; i <= 4096; i += 64 {
+		xv := float64(i)
+		noise := 1 + 0.03*(2*r.Float64()-1)
+		x = append(x, xv)
+		y = append(y, truth.Eval(xv)*noise)
+	}
+	got, err := PolyFit(x, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions (not coefficients) are the robust comparison under
+	// noise. Unweighted least squares privileges the large end of the
+	// sweep, so small-x predictions get an absolute-slack allowance.
+	for _, xv := range []float64{128, 1024, 4096} {
+		want := truth.Eval(xv)
+		if math.Abs(got.Eval(xv)-want) > want*0.05+0.03 {
+			t.Errorf("at x=%v: fit %.4f vs truth %.4f", xv, got.Eval(xv), want)
+		}
+	}
+}
+
+func TestLogLinearFitWithNoise(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 6))
+	truth := LogLinear{Alpha: 8.8, Beta: 2.7}
+	var x, y []float64
+	for _, xv := range []float64{64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048} {
+		x = append(x, xv)
+		y = append(y, truth.Eval(xv)*(1+0.04*(2*r.Float64()-1)))
+	}
+	got, err := LogLinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, xv := range []float64{100, 1000, 2000} {
+		want := truth.Eval(xv)
+		if math.Abs(got.Eval(xv)-want)/want > 0.08 {
+			t.Errorf("at x=%v: fit %.3f vs truth %.3f", xv, got.Eval(xv), want)
+		}
+	}
+}
+
+func TestExpDecayFitWithNoise(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 8))
+	truth := ExpDecay{A: 0.159, Lambda: 0.0324, C: 0.0055}
+	var x, y []float64
+	for i := 8; i <= 640; i += 24 {
+		x = append(x, float64(i))
+		y = append(y, truth.Eval(float64(i))*(1+0.05*(2*r.Float64()-1)))
+	}
+	got, err := ExpDecayFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, xv := range []float64{16, 64, 256, 512} {
+		want := truth.Eval(xv)
+		if math.Abs(got.Eval(xv)-want)/want > 0.12 {
+			t.Errorf("at x=%v: fit %.5f vs truth %.5f", xv, got.Eval(xv), want)
+		}
+	}
+}
+
+func TestPiecewiseConstLogFitWithNoise(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 10))
+	truth := Piecewise{Breakpoint: 64, Low: Constant{Value: 5.9}, High: LogLinear{Alpha: 3.0, Beta: -6.0}}
+	var x, y []float64
+	for _, xv := range []float64{4, 8, 16, 32, 48, 64, 96, 128, 192, 256, 512, 1024, 2048} {
+		x = append(x, xv)
+		y = append(y, truth.Eval(xv)*(1+0.03*(2*r.Float64()-1)))
+	}
+	got, err := PiecewiseConstLogFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fitted breakpoint should land within a factor of ~3 of truth,
+	// and predictions should track.
+	if got.Breakpoint < 16 || got.Breakpoint > 192 {
+		t.Errorf("breakpoint %v too far from 64", got.Breakpoint)
+	}
+	for _, xv := range []float64{8, 512, 2048} {
+		want := truth.Eval(xv)
+		if math.Abs(got.Eval(xv)-want) > math.Abs(want)*0.10+0.5 {
+			t.Errorf("at x=%v: fit %.3f vs truth %.3f", xv, got.Eval(xv), want)
+		}
+	}
+}

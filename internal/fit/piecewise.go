@@ -1,0 +1,159 @@
+package fit
+
+import (
+	"errors"
+	"math"
+)
+
+// Curve is any fitted single-variable model.
+type Curve interface {
+	Eval(x float64) float64
+}
+
+// Constant is a flat y = Value model — the lower branch of the paper's
+// piecewise power models (Eqn 4, 6: constant power at low utilization).
+type Constant struct {
+	Value float64
+}
+
+// Eval returns the constant value regardless of x.
+func (c Constant) Eval(float64) float64 { return c.Value }
+
+// Piecewise composes a low-x branch and a high-x branch split at
+// Breakpoint: y = Low(x) for x <= Breakpoint, High(x) otherwise.
+type Piecewise struct {
+	Breakpoint float64
+	Low, High  Curve
+}
+
+// Eval evaluates the active branch at x.
+func (p Piecewise) Eval(x float64) float64 {
+	if x <= p.Breakpoint {
+		return p.Low.Eval(x)
+	}
+	return p.High.Eval(x)
+}
+
+// PiecewiseConstLogFit fits the paper's Eqn 4/6 form
+//
+//	y = u              for x <= v
+//	y = w·ln(x) + z    for x >  v
+//
+// by scanning candidate breakpoints over the sample x values and keeping
+// the split with the lowest total squared error. Each branch needs at
+// least two samples.
+func PiecewiseConstLogFit(x, y []float64) (Piecewise, error) {
+	if len(x) != len(y) || len(x) < 4 {
+		return Piecewise{}, errors.New("fit: piecewise fit needs >= 4 samples")
+	}
+	// Samples must be processed in x order for contiguous splits.
+	idx := sortedIndex(x)
+	best := Piecewise{}
+	bestErr := math.Inf(1)
+	for cut := 2; cut <= len(x)-2; cut++ {
+		var lowY, highX, highY []float64
+		for i, id := range idx {
+			if i < cut {
+				lowY = append(lowY, y[id])
+			} else {
+				highX = append(highX, x[id])
+				highY = append(highY, y[id])
+			}
+		}
+		u := mean(lowY)
+		ll, err := LogLinearFit(highX, highY)
+		if err != nil {
+			continue
+		}
+		bp := x[idx[cut-1]]
+		cand := Piecewise{Breakpoint: bp, Low: Constant{Value: u}, High: ll}
+		se := 0.0
+		for _, id := range idx {
+			r := cand.Eval(x[id]) - y[id]
+			se += r * r
+		}
+		if se < bestErr {
+			bestErr = se
+			best = cand
+		}
+	}
+	if math.IsInf(bestErr, 1) {
+		return Piecewise{}, ErrSingular
+	}
+	return best, nil
+}
+
+// PiecewiseExpLogFit fits the paper's Eqn 5 form
+//
+//	y = A·e^(−λx) + C     for x <= v
+//	y = α·ln(x) + β       for x >  v
+//
+// used for prefill energy per token (Table XX).
+func PiecewiseExpLogFit(x, y []float64) (Piecewise, error) {
+	if len(x) != len(y) || len(x) < 6 {
+		return Piecewise{}, errors.New("fit: piecewise exp/log fit needs >= 6 samples")
+	}
+	idx := sortedIndex(x)
+	best := Piecewise{}
+	bestErr := math.Inf(1)
+	for cut := 3; cut <= len(x)-2; cut++ {
+		var lowX, lowY, highX, highY []float64
+		for i, id := range idx {
+			if i < cut {
+				lowX = append(lowX, x[id])
+				lowY = append(lowY, y[id])
+			} else {
+				highX = append(highX, x[id])
+				highY = append(highY, y[id])
+			}
+		}
+		ed, err := ExpDecayFit(lowX, lowY)
+		if err != nil {
+			continue
+		}
+		ll, err := LogLinearFit(highX, highY)
+		if err != nil {
+			continue
+		}
+		bp := x[idx[cut-1]]
+		cand := Piecewise{Breakpoint: bp, Low: ed, High: ll}
+		se := 0.0
+		for _, id := range idx {
+			r := cand.Eval(x[id]) - y[id]
+			se += r * r
+		}
+		if se < bestErr {
+			bestErr = se
+			best = cand
+		}
+	}
+	if math.IsInf(bestErr, 1) {
+		return Piecewise{}, ErrSingular
+	}
+	return best, nil
+}
+
+func sortedIndex(x []float64) []int {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort: sample counts here are small (tens of points).
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && x[idx[j]] < x[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,146 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOrinDescriptorValid(t *testing.T) {
+	if err := JetsonAGXOrin64GB().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OrinCortexA78AE().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrinTableISpecs(t *testing.T) {
+	d := JetsonAGXOrin64GB()
+	if d.MemBandwidth != 204.8e9 {
+		t.Errorf("bandwidth = %v, want 204.8 GB/s", d.MemBandwidth)
+	}
+	if d.MemCapacity != 64*GiB {
+		t.Errorf("capacity = %v, want 64 GiB", d.MemCapacity)
+	}
+	if d.PeakFP32FLOPS != 5.3e12 {
+		t.Errorf("FP32 = %v, want 5.3 TFLOPs", d.PeakFP32FLOPS)
+	}
+	if d.SMCount != 16 {
+		t.Errorf("SMCount = %d, want 16", d.SMCount)
+	}
+}
+
+func TestEffectiveRates(t *testing.T) {
+	d := JetsonAGXOrin64GB()
+	bw := d.EffectiveBandwidth()
+	if bw < 150e9 || bw > 204.8e9 {
+		t.Errorf("effective BW = %v out of plausible range", bw)
+	}
+	fl := d.EffectiveFP16FLOPS()
+	if fl < 10e12 || fl > 30e12 {
+		t.Errorf("effective FP16 = %v, want 10-30 TFLOPs (paper implies 15-19)", fl)
+	}
+}
+
+func TestPadM(t *testing.T) {
+	d := JetsonAGXOrin64GB()
+	cases := []struct{ in, want int }{
+		{0, 0}, {1, 128}, {127, 128}, {128, 128}, {129, 256}, {512, 512}, {513, 640},
+	}
+	for _, c := range cases {
+		if got := d.PadM(c.in); got != c.want {
+			t.Errorf("PadM(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPadMIdentityOnCPU(t *testing.T) {
+	c := OrinCortexA78AE()
+	for _, m := range []int{1, 7, 100, 129} {
+		if got := c.PadM(m); got != m {
+			t.Errorf("CPU PadM(%d) = %d, want identity", m, got)
+		}
+	}
+}
+
+func TestPadMProperties(t *testing.T) {
+	d := JetsonAGXOrin64GB()
+	f := func(m uint16) bool {
+		p := d.PadM(int(m))
+		if m == 0 {
+			return p == 0
+		}
+		return p >= int(m) && p%d.TileM == 0 && p-int(m) < d.TileM
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesBadDescriptors(t *testing.T) {
+	base := JetsonAGXOrin64GB()
+	mutations := []func(*Device){
+		func(d *Device) { d.Name = "" },
+		func(d *Device) { d.PeakFP16FLOPS = 0 },
+		func(d *Device) { d.MemBandwidth = -1 },
+		func(d *Device) { d.MemEff = 1.5 },
+		func(d *Device) { d.ComputeEff = 0 },
+		func(d *Device) { d.TileM = 0 },
+		func(d *Device) { d.SMCount = 0 },
+		func(d *Device) { d.MaxPower = d.IdlePower },
+		func(d *Device) { d.PowerStates = 0 },
+	}
+	for i, mut := range mutations {
+		d := *base
+		mut(&d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestPowerModes(t *testing.T) {
+	modes := OrinPowerModes()
+	if len(modes) != 4 {
+		t.Fatalf("want 4 power modes, got %d", len(modes))
+	}
+	if modes[3].Name != "MAXN" || modes[3].FreqScale != 1.0 {
+		t.Errorf("MAXN mode wrong: %+v", modes[3])
+	}
+}
+
+func TestApplyPowerModeDerates(t *testing.T) {
+	d := JetsonAGXOrin64GB()
+	derated := ApplyPowerMode(d, PowerMode{Name: "15W", CapWatts: 15, FreqScale: 0.35})
+	if derated.PeakFP16FLOPS >= d.PeakFP16FLOPS {
+		t.Error("15W mode should derate compute")
+	}
+	if derated.MaxPower != 15 {
+		t.Errorf("MaxPower = %v, want 15", derated.MaxPower)
+	}
+	if d.PeakFP16FLOPS != 68.75e12 {
+		t.Error("ApplyPowerMode must not mutate the source device")
+	}
+}
+
+func TestH100Descriptor(t *testing.T) {
+	h := H100SXM()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	orin := JetsonAGXOrin64GB()
+	if h.EffectiveBandwidth() < 10*orin.EffectiveBandwidth() {
+		t.Error("H100 bandwidth should dwarf Orin's by >10x")
+	}
+	if h.EffectiveFP16FLOPS() < 10*orin.EffectiveFP16FLOPS() {
+		t.Error("H100 compute should dwarf Orin's by >10x")
+	}
+}
+
+func TestApplyPowerModeMAXNIsIdentity(t *testing.T) {
+	d := JetsonAGXOrin64GB()
+	maxn := ApplyPowerMode(d, OrinPowerModes()[3])
+	if maxn.PeakFP16FLOPS != d.PeakFP16FLOPS || maxn.MaxPower != d.MaxPower {
+		t.Error("MAXN should not derate")
+	}
+}

@@ -1,0 +1,286 @@
+// Package kvcache implements a paged key/value cache in the style of
+// vLLM's PagedAttention: fixed-size token blocks, per-sequence block
+// tables, and reference-counted copy-on-write sharing. The engine uses it
+// to account for memory capacity and to share prompt KV across parallel
+// test-time-scaling decoders (§V-E: "the prefill phase is executed once
+// ... during the decode phase we increase the batch size").
+package kvcache
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common error conditions.
+var (
+	// ErrOutOfBlocks means the allocation would exceed cache capacity.
+	ErrOutOfBlocks = errors.New("kvcache: out of blocks")
+	// ErrUnknownSequence means the sequence ID has no allocation.
+	ErrUnknownSequence = errors.New("kvcache: unknown sequence")
+	// ErrSequenceExists means Allocate was called twice for one ID.
+	ErrSequenceExists = errors.New("kvcache: sequence already allocated")
+)
+
+// Config sizes a cache.
+type Config struct {
+	BlockSize     int   // tokens per block (vLLM default: 16)
+	NumBlocks     int   // total blocks available
+	BytesPerToken int64 // KV bytes one token occupies (from model.Arch)
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("kvcache: BlockSize must be positive, got %d", c.BlockSize)
+	}
+	if c.NumBlocks <= 0 {
+		return fmt.Errorf("kvcache: NumBlocks must be positive, got %d", c.NumBlocks)
+	}
+	return nil
+}
+
+// ConfigForMemory sizes a cache to fill the given byte budget.
+func ConfigForMemory(budgetBytes int64, blockSize int, bytesPerToken int64) Config {
+	if blockSize <= 0 {
+		blockSize = 16
+	}
+	blockBytes := int64(blockSize) * bytesPerToken
+	n := 0
+	if blockBytes > 0 {
+		n = int(budgetBytes / blockBytes)
+	}
+	return Config{BlockSize: blockSize, NumBlocks: n, BytesPerToken: bytesPerToken}
+}
+
+// sequence is a live allocation.
+type sequence struct {
+	blocks []int // indices into the block pool
+	length int   // tokens stored
+}
+
+// Cache is a paged KV cache. It is not safe for concurrent use; the
+// engine serializes access.
+type Cache struct {
+	cfg      Config
+	refcount []int // per-block; 0 = free
+	free     []int // free-list (LIFO)
+	seqs     map[string]*sequence
+	// peakUsed tracks the high-water mark of allocated blocks.
+	peakUsed int
+}
+
+// New builds an empty cache.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:      cfg,
+		refcount: make([]int, cfg.NumBlocks),
+		free:     make([]int, 0, cfg.NumBlocks),
+		seqs:     make(map[string]*sequence),
+	}
+	for i := cfg.NumBlocks - 1; i >= 0; i-- {
+		c.free = append(c.free, i)
+	}
+	return c, nil
+}
+
+// blocksFor returns the block count holding n tokens.
+func (c *Cache) blocksFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + c.cfg.BlockSize - 1) / c.cfg.BlockSize
+}
+
+// grab pops one free block, or fails.
+func (c *Cache) grab() (int, error) {
+	if len(c.free) == 0 {
+		return 0, ErrOutOfBlocks
+	}
+	b := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.refcount[b] = 1
+	if used := c.cfg.NumBlocks - len(c.free); used > c.peakUsed {
+		c.peakUsed = used
+	}
+	return b, nil
+}
+
+// release decrements a block's refcount, returning it to the free list at
+// zero.
+func (c *Cache) release(b int) {
+	if c.refcount[b] <= 0 {
+		panic(fmt.Sprintf("kvcache: release of free block %d", b))
+	}
+	c.refcount[b]--
+	if c.refcount[b] == 0 {
+		c.free = append(c.free, b)
+	}
+}
+
+// Allocate reserves blocks for a new sequence of the given token length.
+// On failure nothing is allocated.
+func (c *Cache) Allocate(seqID string, tokens int) error {
+	if _, ok := c.seqs[seqID]; ok {
+		return ErrSequenceExists
+	}
+	need := c.blocksFor(tokens)
+	if need > len(c.free) {
+		return ErrOutOfBlocks
+	}
+	s := &sequence{length: tokens}
+	for i := 0; i < need; i++ {
+		b, err := c.grab()
+		if err != nil {
+			// Cannot happen: capacity checked above. Roll back defensively.
+			for _, rb := range s.blocks {
+				c.release(rb)
+			}
+			return err
+		}
+		s.blocks = append(s.blocks, b)
+	}
+	c.seqs[seqID] = s
+	return nil
+}
+
+// AppendToken extends a sequence by one token, allocating a fresh block at
+// block boundaries and copying a shared tail block (copy-on-write) before
+// writing into it.
+func (c *Cache) AppendToken(seqID string) error {
+	s, ok := c.seqs[seqID]
+	if !ok {
+		return ErrUnknownSequence
+	}
+	// Block boundary: need a new block.
+	if s.length%c.cfg.BlockSize == 0 {
+		b, err := c.grab()
+		if err != nil {
+			return err
+		}
+		s.blocks = append(s.blocks, b)
+		s.length++
+		return nil
+	}
+	// Writing into the tail block: copy first if shared.
+	tail := s.blocks[len(s.blocks)-1]
+	if c.refcount[tail] > 1 {
+		nb, err := c.grab()
+		if err != nil {
+			return err
+		}
+		c.release(tail)
+		s.blocks[len(s.blocks)-1] = nb
+	}
+	s.length++
+	return nil
+}
+
+// Fork creates childID sharing all of parentID's blocks copy-on-write.
+// This is how parallel test-time scaling reuses one prefill across SF
+// decoders at near-zero memory cost.
+func (c *Cache) Fork(parentID, childID string) error {
+	p, ok := c.seqs[parentID]
+	if !ok {
+		return ErrUnknownSequence
+	}
+	if _, ok := c.seqs[childID]; ok {
+		return ErrSequenceExists
+	}
+	child := &sequence{length: p.length, blocks: make([]int, len(p.blocks))}
+	copy(child.blocks, p.blocks)
+	for _, b := range p.blocks {
+		c.refcount[b]++
+	}
+	c.seqs[childID] = child
+	return nil
+}
+
+// Free releases a sequence's blocks.
+func (c *Cache) Free(seqID string) error {
+	s, ok := c.seqs[seqID]
+	if !ok {
+		return ErrUnknownSequence
+	}
+	for _, b := range s.blocks {
+		c.release(b)
+	}
+	delete(c.seqs, seqID)
+	return nil
+}
+
+// Length returns a sequence's token count.
+func (c *Cache) Length(seqID string) (int, error) {
+	s, ok := c.seqs[seqID]
+	if !ok {
+		return 0, ErrUnknownSequence
+	}
+	return s.length, nil
+}
+
+// Stats summarizes occupancy.
+type Stats struct {
+	TotalBlocks  int
+	FreeBlocks   int
+	UsedBlocks   int
+	PeakUsed     int
+	Sequences    int
+	UsedBytes    int64
+	TotalBytes   int64
+	SharedBlocks int // blocks with refcount > 1
+}
+
+// Stats returns current occupancy.
+func (c *Cache) Stats() Stats {
+	shared := 0
+	for _, r := range c.refcount {
+		if r > 1 {
+			shared++
+		}
+	}
+	used := c.cfg.NumBlocks - len(c.free)
+	blockBytes := int64(c.cfg.BlockSize) * c.cfg.BytesPerToken
+	return Stats{
+		TotalBlocks:  c.cfg.NumBlocks,
+		FreeBlocks:   len(c.free),
+		UsedBlocks:   used,
+		PeakUsed:     c.peakUsed,
+		Sequences:    len(c.seqs),
+		UsedBytes:    int64(used) * blockBytes,
+		TotalBytes:   int64(c.cfg.NumBlocks) * blockBytes,
+		SharedBlocks: shared,
+	}
+}
+
+// CheckInvariants verifies internal consistency: every block is either on
+// the free list with refcount 0 or referenced by refcount sequences, and
+// per-sequence block counts match lengths. Used by property tests.
+func (c *Cache) CheckInvariants() error {
+	refs := make([]int, c.cfg.NumBlocks)
+	for id, s := range c.seqs {
+		if got, want := len(s.blocks), c.blocksFor(s.length); got != want {
+			return fmt.Errorf("kvcache: seq %s holds %d blocks for %d tokens (want %d)", id, got, s.length, want)
+		}
+		for _, b := range s.blocks {
+			refs[b]++
+		}
+	}
+	onFree := make(map[int]bool, len(c.free))
+	for _, b := range c.free {
+		if onFree[b] {
+			return fmt.Errorf("kvcache: block %d appears twice on the free list", b)
+		}
+		onFree[b] = true
+	}
+	for b := range c.refcount {
+		if refs[b] != c.refcount[b] {
+			return fmt.Errorf("kvcache: block %d refcount %d, %d references found", b, c.refcount[b], refs[b])
+		}
+		if (c.refcount[b] == 0) != onFree[b] {
+			return fmt.Errorf("kvcache: block %d free-list membership inconsistent with refcount %d", b, c.refcount[b])
+		}
+	}
+	return nil
+}

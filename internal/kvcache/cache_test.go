@@ -1,0 +1,261 @@
+package kvcache
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func newTestCache(t *testing.T, blocks int) *Cache {
+	t.Helper()
+	c, err := New(Config{BlockSize: 16, NumBlocks: blocks, BytesPerToken: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAllocateAndFree(t *testing.T) {
+	c := newTestCache(t, 64)
+	if err := c.Allocate("a", 100); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.UsedBlocks != 7 { // ceil(100/16)
+		t.Errorf("used blocks = %d, want 7", st.UsedBlocks)
+	}
+	if err := c.Free("a"); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.UsedBlocks != 0 || st.FreeBlocks != 64 {
+		t.Errorf("after free: %+v", st)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocateDuplicate(t *testing.T) {
+	c := newTestCache(t, 8)
+	if err := c.Allocate("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Allocate("a", 1); err != ErrSequenceExists {
+		t.Errorf("got %v, want ErrSequenceExists", err)
+	}
+}
+
+func TestAllocateOutOfBlocks(t *testing.T) {
+	c := newTestCache(t, 4)
+	err := c.Allocate("big", 100) // needs 7 blocks
+	if err != ErrOutOfBlocks {
+		t.Fatalf("got %v, want ErrOutOfBlocks", err)
+	}
+	// Failed allocation must not leak.
+	if st := c.Stats(); st.UsedBlocks != 0 {
+		t.Errorf("leaked blocks after failed allocation: %+v", st)
+	}
+}
+
+func TestAppendTokenBlockBoundary(t *testing.T) {
+	c := newTestCache(t, 8)
+	if err := c.Allocate("a", 16); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.UsedBlocks != 1 {
+		t.Fatalf("want 1 block, got %d", st.UsedBlocks)
+	}
+	if err := c.AppendToken("a"); err != nil { // crosses into block 2
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.UsedBlocks != 2 {
+		t.Errorf("after boundary append: %d blocks, want 2", st.UsedBlocks)
+	}
+	n, err := c.Length("a")
+	if err != nil || n != 17 {
+		t.Errorf("length = %d/%v, want 17", n, err)
+	}
+}
+
+func TestForkSharesBlocks(t *testing.T) {
+	c := newTestCache(t, 32)
+	if err := c.Allocate("parent", 64); err != nil { // 4 blocks
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := c.Fork("parent", fmt.Sprintf("child%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.UsedBlocks != 4 {
+		t.Errorf("8-way fork must share all 4 blocks, used = %d", st.UsedBlocks)
+	}
+	if st.SharedBlocks != 4 {
+		t.Errorf("shared blocks = %d, want 4", st.SharedBlocks)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopyOnWriteOnSharedTail(t *testing.T) {
+	c := newTestCache(t, 32)
+	// 20 tokens: tail block holds 4 tokens (not at boundary).
+	if err := c.Allocate("p", 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fork("p", "c"); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Stats().UsedBlocks // 2 shared blocks
+	if err := c.AppendToken("c"); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Stats().UsedBlocks
+	if after != before+1 {
+		t.Errorf("CoW append must copy the shared tail: %d -> %d blocks", before, after)
+	}
+	// Parent unaffected.
+	if n, _ := c.Length("p"); n != 20 {
+		t.Errorf("parent length changed to %d", n)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForkThenFreeParent(t *testing.T) {
+	c := newTestCache(t, 32)
+	if err := c.Allocate("p", 48); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fork("p", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Free("p"); err != nil {
+		t.Fatal(err)
+	}
+	// Child still owns the blocks.
+	if st := c.Stats(); st.UsedBlocks != 3 {
+		t.Errorf("blocks freed under the child: %+v", st)
+	}
+	if err := c.Free("c"); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.UsedBlocks != 0 {
+		t.Errorf("blocks leaked: %+v", st)
+	}
+}
+
+func TestUnknownSequenceErrors(t *testing.T) {
+	c := newTestCache(t, 8)
+	if err := c.AppendToken("ghost"); err != ErrUnknownSequence {
+		t.Error("AppendToken on ghost should fail")
+	}
+	if err := c.Free("ghost"); err != ErrUnknownSequence {
+		t.Error("Free on ghost should fail")
+	}
+	if err := c.Fork("ghost", "x"); err != ErrUnknownSequence {
+		t.Error("Fork from ghost should fail")
+	}
+	if _, err := c.Length("ghost"); err != ErrUnknownSequence {
+		t.Error("Length on ghost should fail")
+	}
+}
+
+func TestConfigForMemory(t *testing.T) {
+	// 1 MiB budget, 16-token blocks, 1 KiB per token -> 64 blocks.
+	cfg := ConfigForMemory(1<<20, 16, 1024)
+	if cfg.NumBlocks != 64 {
+		t.Errorf("NumBlocks = %d, want 64", cfg.NumBlocks)
+	}
+	if cfg.BlockSize != 16 {
+		t.Errorf("BlockSize = %d, want 16", cfg.BlockSize)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{BlockSize: 0, NumBlocks: 1}).Validate(); err == nil {
+		t.Error("zero BlockSize must fail")
+	}
+	if err := (Config{BlockSize: 16, NumBlocks: 0}).Validate(); err == nil {
+		t.Error("zero NumBlocks must fail")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New with invalid config must fail")
+	}
+}
+
+func TestPeakUsedHighWaterMark(t *testing.T) {
+	c := newTestCache(t, 16)
+	_ = c.Allocate("a", 64) // 4 blocks
+	_ = c.Allocate("b", 64) // 4 blocks
+	_ = c.Free("a")
+	st := c.Stats()
+	if st.PeakUsed != 8 {
+		t.Errorf("peak = %d, want 8", st.PeakUsed)
+	}
+	if st.UsedBlocks != 4 {
+		t.Errorf("used = %d, want 4", st.UsedBlocks)
+	}
+}
+
+// Property: a random workload of allocate/append/fork/free operations
+// never violates the cache invariants, and freeing everything returns the
+// cache to empty.
+func TestRandomWorkloadInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 99))
+		c, err := New(Config{BlockSize: 16, NumBlocks: 128, BytesPerToken: 64})
+		if err != nil {
+			return false
+		}
+		live := []string{}
+		next := 0
+		for op := 0; op < 200; op++ {
+			switch r.IntN(4) {
+			case 0: // allocate
+				id := fmt.Sprintf("s%d", next)
+				next++
+				if c.Allocate(id, 1+r.IntN(100)) == nil {
+					live = append(live, id)
+				}
+			case 1: // append
+				if len(live) > 0 {
+					_ = c.AppendToken(live[r.IntN(len(live))])
+				}
+			case 2: // fork
+				if len(live) > 0 {
+					id := fmt.Sprintf("s%d", next)
+					next++
+					if c.Fork(live[r.IntN(len(live))], id) == nil {
+						live = append(live, id)
+					}
+				}
+			case 3: // free
+				if len(live) > 0 {
+					i := r.IntN(len(live))
+					if c.Free(live[i]) != nil {
+						return false
+					}
+					live = append(live[:i], live[i+1:]...)
+				}
+			}
+			if c.CheckInvariants() != nil {
+				return false
+			}
+		}
+		for _, id := range live {
+			if c.Free(id) != nil {
+				return false
+			}
+		}
+		st := c.Stats()
+		return st.UsedBlocks == 0 && st.FreeBlocks == st.TotalBlocks && c.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42, "stream")
+	b := NewRNG(42, "stream")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed+name must produce identical streams")
+		}
+	}
+}
+
+func TestRNGStreamIndependence(t *testing.T) {
+	a := NewRNG(42, "alpha")
+	b := NewRNG(42, "beta")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different streams coincide %d/100 times", same)
+	}
+}
+
+func TestLogNormalMeanApproximatesMean(t *testing.T) {
+	r := NewRNG(1, "lognormal")
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.LogNormalMean(500, 0.5)
+	}
+	got := sum / n
+	if math.Abs(got-500)/500 > 0.02 {
+		t.Errorf("lognormal mean = %v, want ~500", got)
+	}
+}
+
+func TestLogNormalMeanZero(t *testing.T) {
+	r := NewRNG(1, "ln0")
+	if r.LogNormalMean(0, 0.5) != 0 {
+		t.Error("mean 0 should yield 0")
+	}
+}
+
+func TestBetaInUnitInterval(t *testing.T) {
+	r := NewRNG(7, "beta")
+	for i := 0; i < 10000; i++ {
+		x := r.Beta(2, 5)
+		if x < 0 || x > 1 {
+			t.Fatalf("beta sample out of range: %v", x)
+		}
+	}
+}
+
+func TestBetaMean(t *testing.T) {
+	r := NewRNG(7, "betamean")
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Beta(2, 3)
+	}
+	got := sum / n
+	want := 2.0 / 5.0
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("Beta(2,3) mean = %v, want %v", got, want)
+	}
+}
+
+func TestCategoricalDistribution(t *testing.T) {
+	r := NewRNG(3, "cat")
+	weights := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * n
+		if math.Abs(float64(counts[i])-want)/want > 0.05 {
+			t.Errorf("category %d: count %d, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestCategoricalPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on empty weights")
+		}
+	}()
+	NewRNG(1, "x").Categorical(nil)
+}
+
+func TestCategoricalPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative weight")
+		}
+	}()
+	NewRNG(1, "x").Categorical([]float64{1, -1})
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	r := NewRNG(1, "bern")
+	if r.Bernoulli(0) {
+		t.Error("p=0 must be false")
+	}
+	if !r.Bernoulli(1) {
+		t.Error("p=1 must be true")
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := NewRNG(9, "bernrate")
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) rate = %v", rate)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRNG(5, "jit")
+	for i := 0; i < 1000; i++ {
+		x := r.Jitter(100, 0.05)
+		if x < 95 || x > 105 {
+			t.Fatalf("jitter out of bounds: %v", x)
+		}
+	}
+}
+
+func TestHashJitterDeterministic(t *testing.T) {
+	a := HashJitter(100, 0.1, 12345)
+	b := HashJitter(100, 0.1, 12345)
+	if a != b {
+		t.Error("HashJitter must be deterministic for a fixed key")
+	}
+	if a < 90 || a > 110 {
+		t.Errorf("HashJitter out of bounds: %v", a)
+	}
+	c := HashJitter(100, 0.1, 54321)
+	if a == c {
+		t.Error("different keys should (almost surely) differ")
+	}
+}

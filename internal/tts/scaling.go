@@ -1,0 +1,133 @@
+// Package tts implements test-time scaling evaluation (§II-B, §V-C, §V-E):
+// sequential scaling (longer chains via token budgets) is exercised through
+// the control policies; this package adds parallel scaling — SF samples
+// decoded as one batch and aggregated by majority (plurality) voting —
+// plus the accuracy/latency/energy accounting of Figs 9 and 10.
+package tts
+
+import (
+	"fmt"
+	"sort"
+
+	"edgereasoning/internal/control"
+	"edgereasoning/internal/data"
+	"edgereasoning/internal/llm"
+)
+
+// MajorityVote aggregates parallel generations by plurality over answer
+// identities. Ties break toward the answer appearing earliest among the
+// votes (a deterministic stand-in for vLLM's first-completion tie break).
+// The second return is the winning cluster's vote count.
+func MajorityVote(gens []llm.Generation) (answer int, votes int) {
+	if len(gens) == 0 {
+		return 0, 0
+	}
+	counts := make(map[int]int, len(gens))
+	firstSeen := make(map[int]int, len(gens))
+	for i, g := range gens {
+		counts[g.Answer]++
+		if _, ok := firstSeen[g.Answer]; !ok {
+			firstSeen[g.Answer] = i
+		}
+	}
+	type entry struct {
+		answer, count, first int
+	}
+	entries := make([]entry, 0, len(counts))
+	for a, c := range counts {
+		entries = append(entries, entry{a, c, firstSeen[a]})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].count != entries[j].count {
+			return entries[i].count > entries[j].count
+		}
+		return entries[i].first < entries[j].first
+	})
+	return entries[0].answer, entries[0].count
+}
+
+// QuestionResult is one question evaluated at a scaling factor.
+type QuestionResult struct {
+	Correct      bool
+	VotedAnswer  int
+	Agreement    float64 // winning votes / SF
+	OutputTokens int     // summed across branches
+	MaxTokens    int     // longest branch (drives latency)
+}
+
+// EvaluateQuestion runs SF parallel samples of one question and votes.
+func EvaluateQuestion(tw *llm.Twin, q data.Question, pol control.Policy, sf int) (QuestionResult, error) {
+	gens, err := tw.GenerateVotes(q, pol, sf)
+	if err != nil {
+		return QuestionResult{}, err
+	}
+	answer, votes := MajorityVote(gens)
+	res := QuestionResult{
+		Correct:     answer == 0,
+		VotedAnswer: answer,
+		Agreement:   float64(votes) / float64(len(gens)),
+	}
+	for _, g := range gens {
+		res.OutputTokens += g.OutputTokens
+		if g.OutputTokens > res.MaxTokens {
+			res.MaxTokens = g.OutputTokens
+		}
+	}
+	return res, nil
+}
+
+// BankResult aggregates a full benchmark at one scaling factor.
+type BankResult struct {
+	SF            int
+	Accuracy      float64
+	MeanAgreement float64
+	MeanTokens    float64 // per question, summed over branches
+	MeanMaxTokens float64 // per question, longest branch
+	Questions     int
+}
+
+// EvaluateBank runs the whole bank at a scaling factor.
+func EvaluateBank(tw *llm.Twin, bank *data.Bank, pol control.Policy, sf int) (BankResult, error) {
+	if sf < 1 {
+		return BankResult{}, fmt.Errorf("tts: scaling factor must be >= 1, got %d", sf)
+	}
+	out := BankResult{SF: sf, Questions: bank.Size()}
+	if bank.Size() == 0 {
+		return out, nil
+	}
+	correct := 0
+	for _, q := range bank.Questions {
+		r, err := EvaluateQuestion(tw, q, pol, sf)
+		if err != nil {
+			return out, err
+		}
+		if r.Correct {
+			correct++
+		}
+		out.MeanAgreement += r.Agreement
+		out.MeanTokens += float64(r.OutputTokens)
+		out.MeanMaxTokens += float64(r.MaxTokens)
+	}
+	n := float64(bank.Size())
+	out.Accuracy = float64(correct) / n
+	out.MeanAgreement /= n
+	out.MeanTokens /= n
+	out.MeanMaxTokens /= n
+	return out, nil
+}
+
+// Sweep evaluates the bank across scaling factors (the Fig 9 x-axis).
+func Sweep(tw *llm.Twin, bank *data.Bank, pol control.Policy, factors []int) ([]BankResult, error) {
+	out := make([]BankResult, 0, len(factors))
+	for _, sf := range factors {
+		r, err := EvaluateBank(tw, bank, pol, sf)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PaperScalingFactors returns Fig 9/10's x-axis.
+func PaperScalingFactors() []int { return []int{1, 2, 4, 8, 16, 32} }

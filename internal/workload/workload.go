@@ -1,0 +1,111 @@
+// Package workload generates open-loop request streams for serving
+// studies: Poisson arrivals with lognormal prompt/output lengths and
+// optional per-request deadlines. Together with engine.Serve it extends
+// the paper's closed-batch cost study (§III-B: "edge deployment costs
+// also benefit from batching and increased QPS") into a queueing-aware
+// QPS sweep.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"edgereasoning/internal/engine"
+	"edgereasoning/internal/stats"
+)
+
+// Profile shapes a request stream.
+type Profile struct {
+	// QPS is the mean arrival rate (Poisson process).
+	QPS float64
+	// N is the number of requests.
+	N int
+	// PromptMean / PromptSigma parameterize the lognormal prompt length.
+	PromptMean  float64
+	PromptSigma float64
+	// OutputMean / OutputSigma parameterize the lognormal output length.
+	OutputMean  float64
+	OutputSigma float64
+	// DeadlineSlack, when positive, assigns each request a deadline of
+	// arrival + DeadlineSlack seconds.
+	DeadlineSlack float64
+	// DeadlineSlackMax, when above DeadlineSlack, draws each request's
+	// slack uniformly from [DeadlineSlack, DeadlineSlackMax] — a mixed
+	// urgency population where EDF meaningfully reorders FCFS.
+	DeadlineSlackMax float64
+}
+
+// Validate rejects unusable profiles.
+func (p Profile) Validate() error {
+	switch {
+	case p.QPS <= 0:
+		return fmt.Errorf("workload: QPS must be positive")
+	case p.N <= 0:
+		return fmt.Errorf("workload: N must be positive")
+	case p.PromptMean <= 0 || p.OutputMean <= 0:
+		return fmt.Errorf("workload: length means must be positive")
+	}
+	return nil
+}
+
+// Generate synthesizes the stream deterministically in (profile, seed).
+func Generate(p Profile, seed uint64) ([]engine.TimedRequest, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(seed, fmt.Sprintf("workload/qps%.3f/n%d", p.QPS, p.N))
+	out := make([]engine.TimedRequest, p.N)
+	clock := 0.0
+	for i := range out {
+		// Exponential inter-arrival times (Poisson process).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		clock += -math.Log(u) / p.QPS
+		prompt := int(rng.LogNormalMean(p.PromptMean, p.PromptSigma))
+		if prompt < 8 {
+			prompt = 8
+		}
+		output := int(rng.LogNormalMean(p.OutputMean, p.OutputSigma))
+		if output < 1 {
+			output = 1
+		}
+		tr := engine.TimedRequest{
+			Request: engine.Request{
+				ID:           fmt.Sprintf("w%d", i),
+				PromptTokens: prompt,
+				OutputTokens: output,
+			},
+			Arrival: clock,
+		}
+		if p.DeadlineSlack > 0 {
+			slack := p.DeadlineSlack
+			if p.DeadlineSlackMax > p.DeadlineSlack {
+				slack += rng.Float64() * (p.DeadlineSlackMax - p.DeadlineSlack)
+			}
+			tr.Deadline = clock + slack
+		}
+		out[i] = tr
+	}
+	return out, nil
+}
+
+// InteractiveAssistant is a short-output conversational profile (direct
+// non-reasoning responses, ~40 tokens).
+func InteractiveAssistant(qps float64, n int) Profile {
+	return Profile{
+		QPS: qps, N: n,
+		PromptMean: 180, PromptSigma: 0.35,
+		OutputMean: 40, OutputSigma: 0.4,
+	}
+}
+
+// ReasoningBatch is a long-chain offline profile (AIME-style reasoning).
+func ReasoningBatch(qps float64, n int) Profile {
+	return Profile{
+		QPS: qps, N: n,
+		PromptMean: 150, PromptSigma: 0.2,
+		OutputMean: 2500, OutputSigma: 0.5,
+	}
+}
