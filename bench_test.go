@@ -7,6 +7,8 @@
 package edgereasoning
 
 import (
+	"context"
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -294,6 +296,35 @@ func BenchmarkReproductionScorecard(b *testing.B) {
 	b.ReportMetric(float64(pass), "anchors_passed")
 	b.ReportMetric(float64(len(t.Rows)), "anchors_total")
 }
+
+// ------------------------------------------------------- suite scheduling
+
+// benchSuite runs every registered driver through the concurrent runner
+// at the given parallelism and fails on any driver error, so the
+// sequential and parallel variants measure identical work.
+func benchSuite(b *testing.B, parallelism int, quick bool) {
+	b.Helper()
+	ids := experiments.IDs()
+	opts := experiments.Options{Seed: 7, Quick: quick}
+	cfg := experiments.RunnerOptions{Parallelism: parallelism}
+	for i := 0; i < b.N; i++ {
+		results := experiments.RunAll(context.Background(), ids, opts, cfg)
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatalf("%s: %v", r.ID, r.Err)
+			}
+		}
+	}
+}
+
+// Full-suite wall clock, sequential vs. worker pool — the headline
+// speedup of the concurrent runner on the complete paper reproduction.
+func BenchmarkSuiteFullSequential(b *testing.B) { benchSuite(b, 1, false) }
+func BenchmarkSuiteFullParallel(b *testing.B)   { benchSuite(b, runtime.GOMAXPROCS(0), false) }
+
+// Quick-bank variants for fast comparisons on constrained machines.
+func BenchmarkSuiteQuickSequential(b *testing.B) { benchSuite(b, 1, true) }
+func BenchmarkSuiteQuickParallel(b *testing.B)   { benchSuite(b, runtime.GOMAXPROCS(0), true) }
 
 // --------------------------------------------------- substrate micro-benches
 

@@ -6,19 +6,33 @@
 //	edgereasoning list                 # show available experiment IDs
 //	edgereasoning run <id> [flags]     # run one experiment
 //	edgereasoning all [flags]          # run the full suite
+//	edgereasoning sweep <id> [flags]   # fan one experiment across seeds
 //
 // Flags:
 //
-//	-seed N     random seed (default 7)
-//	-quick      subsample the large banks (fast smoke runs)
-//	-csv DIR    also write each table as DIR/<table-id>.csv
+//	-seed N       random seed (default 7)
+//	-quick        subsample the large banks (fast smoke runs)
+//	-csv DIR      also write each table as DIR/<table-id>.csv
+//	-parallel N   worker count (default GOMAXPROCS)
+//	-timeout D    per-driver timeout, e.g. 90s (default none)
+//	-metrics      print per-driver wall time and table counts to stderr
+//	-seeds LIST   comma-separated seeds for sweep (default 1..8)
+//
+// Experiments run on a worker pool but the report is emitted in registry
+// order, so output is byte-identical at any parallelism.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
 
 	"edgereasoning/internal/experiments"
 )
@@ -28,6 +42,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "edgereasoning:", err)
 		os.Exit(1)
 	}
+}
+
+// config is the parsed flag set for one invocation.
+type config struct {
+	opts     experiments.Options
+	csvDir   string
+	parallel int
+	timeout  time.Duration
+	metrics  bool
+	seeds    []uint64
+	// seedSet / seedsSet record which of the mutually-exclusive seed
+	// flags the user passed, so the wrong one for a command is rejected
+	// instead of silently ignored.
+	seedSet  bool
+	seedsSet bool
+}
+
+func (c config) runnerOptions() experiments.RunnerOptions {
+	return experiments.RunnerOptions{Parallelism: c.parallel, Timeout: c.timeout}
 }
 
 func run(args []string) error {
@@ -46,18 +79,35 @@ func run(args []string) error {
 		if len(rest) == 0 {
 			return fmt.Errorf("run: missing experiment id")
 		}
-		id := rest[0]
-		opts, csvDir, err := parseFlags(rest[1:])
+		cfg, err := parseFlags(rest[1:])
 		if err != nil {
 			return err
 		}
-		return execute([]string{id}, opts, csvDir)
+		if cfg.seedsSet {
+			return fmt.Errorf("run: -seeds only applies to sweep (use -seed)")
+		}
+		return execute([]string{rest[0]}, cfg)
 	case "all":
-		opts, csvDir, err := parseFlags(rest)
+		cfg, err := parseFlags(rest)
 		if err != nil {
 			return err
 		}
-		return execute(experiments.IDs(), opts, csvDir)
+		if cfg.seedsSet {
+			return fmt.Errorf("all: -seeds only applies to sweep (use -seed)")
+		}
+		return execute(experiments.IDs(), cfg)
+	case "sweep":
+		if len(rest) == 0 {
+			return fmt.Errorf("sweep: missing experiment id")
+		}
+		cfg, err := parseFlags(rest[1:])
+		if err != nil {
+			return err
+		}
+		if cfg.seedSet {
+			return fmt.Errorf("sweep: -seed does not apply to sweep; pass the seeds via -seeds")
+		}
+		return sweep(rest[0], cfg)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -67,40 +117,229 @@ func run(args []string) error {
 	}
 }
 
-func parseFlags(args []string) (experiments.Options, string, error) {
+func parseFlags(args []string) (config, error) {
 	fs := flag.NewFlagSet("edgereasoning", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 7, "random seed")
 	quick := fs.Bool("quick", false, "subsample large banks")
 	csvDir := fs.String("csv", "", "directory for CSV output")
+	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "per-driver timeout (0 = none)")
+	metrics := fs.Bool("metrics", false, "print per-driver metrics to stderr")
+	seeds := fs.String("seeds", "", "comma-separated seeds for sweep (default 1..8)")
 	if err := fs.Parse(args); err != nil {
-		return experiments.Options{}, "", err
+		return config{}, err
 	}
-	return experiments.Options{Seed: *seed, Quick: *quick}, *csvDir, nil
+	if fs.NArg() > 0 {
+		return config{}, fmt.Errorf("unexpected arguments %q (flags go after the experiment id)", fs.Args())
+	}
+	cfg := config{
+		opts:     experiments.Options{Seed: *seed, Quick: *quick},
+		csvDir:   *csvDir,
+		parallel: *parallel,
+		timeout:  *timeout,
+		metrics:  *metrics,
+	}
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			cfg.seedSet = true
+		case "seeds":
+			cfg.seedsSet = true
+		}
+	})
+	if cfg.seedsSet && *seeds == "" {
+		return config{}, fmt.Errorf("-seeds requires a non-empty list")
+	}
+	var err error
+	if cfg.seeds, err = parseSeeds(*seeds); err != nil {
+		return config{}, err
+	}
+	return cfg, nil
 }
 
-func execute(ids []string, opts experiments.Options, csvDir string) error {
-	if csvDir != "" {
-		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+func parseSeeds(list string) ([]uint64, error) {
+	if list == "" {
+		seeds := make([]uint64, 8)
+		for i := range seeds {
+			seeds[i] = uint64(i + 1)
+		}
+		return seeds, nil
+	}
+	parts := strings.Split(list, ",")
+	seeds := make([]uint64, 0, len(parts))
+	seen := make(map[uint64]bool, len(parts))
+	for _, p := range parts {
+		s, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", p, err)
+		}
+		// Duplicates would render the same section twice and silently
+		// clobber each other's seed-tagged CSV.
+		if seen[s] {
+			return nil, fmt.Errorf("duplicate seed %d", s)
+		}
+		seen[s] = true
+		seeds = append(seeds, s)
+	}
+	return seeds, nil
+}
+
+// execute runs the IDs on the worker pool and streams each result's
+// tables through Render/CSV in registry order as they become ready.
+// Driver failures are collected rather than aborting the suite.
+func execute(ids []string, cfg config) error {
+	return emit(cfg, len(ids), false, func(ctx context.Context) <-chan experiments.Result {
+		return experiments.Stream(ctx, ids, cfg.opts, cfg.runnerOptions())
+	})
+}
+
+// sweep fans one driver across seeds and renders each seed's tables in
+// seed order, tagging the section headers with the seed.
+func sweep(id string, cfg config) error {
+	// Pre-flight the ID: an unknown experiment is one typo, not one
+	// failure per seed.
+	if !experiments.Known(id) {
+		return experiments.UnknownIDError(id)
+	}
+	return emit(cfg, len(cfg.seeds), true, func(ctx context.Context) <-chan experiments.Result {
+		return experiments.StreamSweep(ctx, id, cfg.seeds, cfg.opts, cfg.runnerOptions())
+	})
+}
+
+// label names one result in failure lists and metrics rows; sweep results
+// are qualified by seed since every row shares the experiment ID.
+func label(r experiments.Result, bySeed bool) string {
+	if bySeed {
+		return fmt.Sprintf("%s@seed%d", r.ID, r.Seed)
+	}
+	return r.ID
+}
+
+// emit consumes an ordered result stream under an interrupt-aware
+// context, rendering each successful result's tables to stdout (and CSV)
+// as they arrive and collecting failures instead of aborting on the
+// first one. bySeed switches on the sweep dressing: per-result seed
+// headers and seed-tagged CSV names.
+func emit(cfg config, total int, bySeed bool, stream func(context.Context) <-chan experiments.Result) error {
+	if cfg.csvDir != "" {
+		if err := os.MkdirAll(cfg.csvDir, 0o755); err != nil {
 			return err
 		}
 	}
-	for _, id := range ids {
-		tables, err := experiments.Run(id, opts)
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-		for i := range tables {
-			if err := tables[i].Render(os.Stdout); err != nil {
-				return err
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	start := time.Now()
+	var stats []driverStat
+	var failed []string
+	var firstErr error
+	interrupted := 0
+	for res := range stream(ctx) {
+		stats = append(stats, driverStat{
+			label:  label(res, bySeed),
+			wall:   res.Wall,
+			tables: res.TableCount(),
+			err:    res.Err,
+		})
+		if res.Err != nil {
+			// A Ctrl-C is not a driver failure: count cancelled results
+			// separately and report the interrupt once at the end.
+			if errors.Is(res.Err, context.Canceled) {
+				interrupted++
+				continue
 			}
-			if csvDir != "" {
-				if err := writeCSV(csvDir, &tables[i]); err != nil {
-					return err
+			if firstErr == nil {
+				firstErr = res.Err
+			}
+			failed = append(failed, label(res, bySeed))
+			// With a single experiment the returned error already carries
+			// the cause; the extra stderr line would print it twice.
+			if total > 1 {
+				fmt.Fprintf(os.Stderr, "edgereasoning: %s: %v\n", label(res, bySeed), res.Err)
+			}
+			continue
+		}
+		if bySeed {
+			fmt.Printf("-- %s @ seed %d --\n", res.ID, res.Seed)
+		}
+		for i := range res.Tables {
+			if err := res.Tables[i].Render(os.Stdout); err != nil {
+				return fmt.Errorf("%s: render: %w", label(res, bySeed), err)
+			}
+			if cfg.csvDir != "" {
+				t := res.Tables[i]
+				if bySeed {
+					t.ID = fmt.Sprintf("%s-seed%d", t.ID, res.Seed)
+				}
+				if err := writeCSV(cfg.csvDir, &t); err != nil {
+					return fmt.Errorf("%s: csv: %w", label(res, bySeed), err)
 				}
 			}
 		}
 	}
-	return nil
+	if cfg.metrics {
+		printMetrics(stats, time.Since(start))
+	}
+	switch {
+	case len(failed) == 0 && interrupted == 0:
+		return nil
+	case len(failed) == 1 && total == 1:
+		// Preserve the error chain when a single experiment was asked for.
+		return fmt.Errorf("%s: %w", failed[0], firstErr)
+	case interrupted > 0 && len(failed) == 0:
+		// "not completed", not "not run": an in-flight driver abandoned by
+		// the interrupt had started, its work discarded.
+		return fmt.Errorf("interrupted: %d of %d experiments not completed", interrupted, total)
+	case interrupted > 0:
+		return fmt.Errorf("%d of %d experiments failed (%s); interrupted with %d more not completed",
+			len(failed), total, strings.Join(failed, ", "), interrupted)
+	default:
+		return fmt.Errorf("%d of %d experiments failed: %s",
+			len(failed), total, strings.Join(failed, ", "))
+	}
+}
+
+// driverStat is the lightweight per-driver record kept for -metrics, so
+// rendered tables can be dropped as soon as they are emitted.
+type driverStat struct {
+	label  string
+	wall   time.Duration
+	tables int
+	err    error
+}
+
+// printMetrics writes per-driver and suite-level metrics to stderr so the
+// report on stdout stays byte-stable.
+func printMetrics(stats []driverStat, elapsed time.Duration) {
+	fmt.Fprintf(os.Stderr, "\n%-20s %10s %7s  %s\n", "experiment", "wall", "tables", "status")
+	var driverTime time.Duration
+	var tables, errs, interrupted int
+	for _, s := range stats {
+		status := "ok"
+		switch {
+		case s.err == nil:
+		case errors.Is(s.err, context.Canceled):
+			// Match emit's classification: a Ctrl-C is not a failure.
+			status = "interrupted"
+			interrupted++
+		default:
+			status = s.err.Error()
+			errs++
+		}
+		fmt.Fprintf(os.Stderr, "%-20s %10s %7d  %s\n",
+			s.label, s.wall.Round(time.Millisecond), s.tables, status)
+		driverTime += s.wall
+		tables += s.tables
+	}
+	speedup := float64(driverTime) / float64(elapsed)
+	suffix := ""
+	if interrupted > 0 {
+		suffix = fmt.Sprintf(", %d interrupted", interrupted)
+	}
+	fmt.Fprintf(os.Stderr,
+		"suite: %d drivers, %d tables, %d errors%s; driver time %s, wall %s (%.1fx)\n",
+		len(stats), tables, errs, suffix,
+		driverTime.Round(time.Millisecond), elapsed.Round(time.Millisecond), speedup)
 }
 
 func writeCSV(dir string, t *experiments.Table) error {
@@ -122,9 +361,14 @@ commands:
   list                 show available experiment IDs
   run <id> [flags]     run one experiment (e.g. "run table2")
   all [flags]          run the full suite
+  sweep <id> [flags]   fan one experiment across seeds (variance estimation)
 
 flags:
-  -seed N   random seed (default 7)
-  -quick    subsample large banks
-  -csv DIR  also write CSV files`)
+  -seed N       random seed (default 7)
+  -quick        subsample large banks
+  -csv DIR      also write CSV files
+  -parallel N   worker count (default GOMAXPROCS)
+  -timeout D    per-driver timeout, e.g. 90s (default none)
+  -metrics      print per-driver metrics to stderr
+  -seeds LIST   comma-separated seeds for sweep (default 1..8)`)
 }

@@ -3,7 +3,10 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"edgereasoning/internal/experiments"
 )
 
 func TestRunList(t *testing.T) {
@@ -57,5 +60,113 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestHelp(t *testing.T) {
 	if err := run([]string{"help"}); err != nil {
 		t.Error("help must succeed")
+	}
+}
+
+func TestRunWithRunnerFlags(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"run", "saturation", "-quick", "-parallel", "2",
+		"-timeout", "5m", "-metrics", "-csv", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no CSV files written")
+	}
+}
+
+func TestSweepCommand(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"sweep", "saturation", "-quick", "-seeds", "3,5", "-csv", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d CSV files, want one per seed (2)", len(entries))
+	}
+	for _, e := range entries {
+		if !strings.Contains(e.Name(), "seed") {
+			t.Errorf("sweep CSV %q not tagged with its seed", e.Name())
+		}
+	}
+}
+
+func TestSweepMissingID(t *testing.T) {
+	if err := run([]string{"sweep"}); err == nil {
+		t.Error("sweep without id must fail")
+	}
+	if err := run([]string{"sweep", "tabl2"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("sweep with unknown id must fail up front, got %v", err)
+	}
+}
+
+func TestSeedFlagsRejectedCrossCommand(t *testing.T) {
+	// -seeds on run/all and -seed on sweep would otherwise be silently
+	// ignored; the CLI must reject them instead.
+	if err := run([]string{"run", "saturation", "-seeds", "1,2"}); err == nil {
+		t.Error("run with -seeds must fail")
+	}
+	if err := run([]string{"all", "-quick", "-seeds", "1,2"}); err == nil {
+		t.Error("all with -seeds must fail")
+	}
+	if err := run([]string{"sweep", "saturation", "-seed", "42"}); err == nil {
+		t.Error("sweep with -seed must fail")
+	}
+}
+
+func TestBadSeedList(t *testing.T) {
+	if err := run([]string{"sweep", "saturation", "-seeds", "1,bogus"}); err == nil {
+		t.Error("malformed seed list must fail")
+	}
+	if err := run([]string{"sweep", "saturation", "-seeds", "3,3"}); err == nil {
+		t.Error("duplicate seeds must fail (they clobber seed-tagged CSVs)")
+	}
+	if err := run([]string{"sweep", "saturation", "-seeds", ""}); err == nil {
+		t.Error("explicitly empty -seeds must fail, not silently sweep the defaults")
+	}
+}
+
+func TestTrailingPositionalArgsRejected(t *testing.T) {
+	// `sweep table2 5 7` looks like it passes seeds but flag.Parse would
+	// silently drop the positionals; reject them instead.
+	if err := run([]string{"sweep", "saturation", "5", "7"}); err == nil {
+		t.Error("trailing positional args must fail")
+	}
+	if err := run([]string{"run", "saturation", "extra"}); err == nil {
+		t.Error("trailing positional args must fail")
+	}
+}
+
+func TestParseSeedsDefault(t *testing.T) {
+	seeds, err := parseSeeds("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 8 || seeds[0] != 1 || seeds[7] != 8 {
+		t.Errorf("default seeds = %v, want 1..8", seeds)
+	}
+}
+
+func TestExecuteFailSoft(t *testing.T) {
+	// A broken ID mixed into the list is reported at the end instead of
+	// aborting the drivers scheduled after it: the good driver's CSV
+	// still lands on disk.
+	dir := t.TempDir()
+	cfg := config{opts: experiments.Options{Seed: 7, Quick: true}, csvDir: dir, parallel: 1}
+	err := execute([]string{"fig999", "saturation"}, cfg)
+	if err == nil || !strings.Contains(err.Error(), "fig999") {
+		t.Fatalf("err = %v, want failure naming fig999", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, "saturation.csv")); statErr != nil {
+		t.Errorf("driver after the broken one must still run: %v", statErr)
 	}
 }

@@ -1,0 +1,3 @@
+module edgereasoning
+
+go 1.22

@@ -151,9 +151,21 @@ func register(id string, d Driver) {
 func Run(id string, opts Options) ([]Table, error) {
 	d, ok := registry[id]
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+		return nil, UnknownIDError(id)
 	}
 	return d(opts)
+}
+
+// UnknownIDError is the canonical error for an unregistered experiment
+// ID, listing the valid IDs so a typo is self-correcting.
+func UnknownIDError(id string) error {
+	return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+}
+
+// Known reports whether an experiment ID is registered.
+func Known(id string) bool {
+	_, ok := registry[id]
+	return ok
 }
 
 // IDs lists registered experiments in a stable order.

@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// renderResults renders every table from every successful result, in
+// stream order, exactly as the CLI does.
+func renderResults(t *testing.T, results []Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		for i := range r.Tables {
+			if err := r.Tables[i].Render(&buf); err != nil {
+				t.Fatalf("%s: render: %v", r.ID, err)
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestParallelReportByteIdentical runs the full suite sequentially and at
+// parallelism 8 and asserts the rendered reports match byte for byte:
+// output order must depend only on the requested ID order, never on
+// completion order. Run under -race this also exercises the pool for
+// data races across all drivers.
+func TestParallelReportByteIdentical(t *testing.T) {
+	ids := IDs()
+	opts := Options{Seed: 7, Quick: true}
+	seq := RunAll(context.Background(), ids, opts, RunnerOptions{Parallelism: 1})
+	par := RunAll(context.Background(), ids, opts, RunnerOptions{Parallelism: 8})
+	if len(seq) != len(ids) || len(par) != len(ids) {
+		t.Fatalf("result counts: sequential %d, parallel %d, want %d", len(seq), len(par), len(ids))
+	}
+	seqOut := renderResults(t, seq)
+	parOut := renderResults(t, par)
+	if !bytes.Equal(seqOut, parOut) {
+		t.Errorf("parallel report differs from sequential (%d vs %d bytes)", len(parOut), len(seqOut))
+	}
+}
+
+// fakeRegistry builds a lookup over synthetic drivers for pool tests.
+func fakeRegistry(drivers map[string]Driver) func(string) (Driver, bool) {
+	return func(id string) (Driver, bool) {
+		d, ok := drivers[id]
+		return d, ok
+	}
+}
+
+// tableFor is a minimal single-row artifact for synthetic drivers.
+func tableFor(id string, opts Options) []Table {
+	return []Table{{
+		ID:      id,
+		Title:   "synthetic",
+		Columns: []string{"seed"},
+		Rows:    [][]string{{fmt.Sprintf("%d", opts.Seed)}},
+	}}
+}
+
+func TestStreamPreservesRequestOrder(t *testing.T) {
+	// Early drivers sleep longer than later ones, so completion order is
+	// the reverse of request order.
+	drivers := map[string]Driver{}
+	ids := make([]string, 6)
+	for i := range ids {
+		id := fmt.Sprintf("d%d", i)
+		ids[i] = id
+		delay := time.Duration(len(ids)-i) * 5 * time.Millisecond
+		drivers[id] = func(o Options) ([]Table, error) {
+			time.Sleep(delay)
+			return tableFor(id, o), nil
+		}
+	}
+	cfg := RunnerOptions{Parallelism: len(ids), lookup: fakeRegistry(drivers)}
+	var got []string
+	for r := range Stream(context.Background(), ids, Options{Seed: 1}, cfg) {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		got = append(got, r.ID)
+	}
+	if strings.Join(got, ",") != strings.Join(ids, ",") {
+		t.Errorf("stream order %v, want %v", got, ids)
+	}
+}
+
+func TestRunAllFailSoft(t *testing.T) {
+	boom := errors.New("boom")
+	drivers := map[string]Driver{
+		"ok1":    func(o Options) ([]Table, error) { return tableFor("ok1", o), nil },
+		"broken": func(o Options) ([]Table, error) { return nil, boom },
+		"panics": func(o Options) ([]Table, error) { panic("kaboom") },
+		"ok2":    func(o Options) ([]Table, error) { return tableFor("ok2", o), nil },
+	}
+	ids := []string{"ok1", "broken", "panics", "missing", "ok2"}
+	cfg := RunnerOptions{Parallelism: 2, lookup: fakeRegistry(drivers)}
+	results := RunAll(context.Background(), ids, Options{Seed: 3}, cfg)
+	if len(results) != len(ids) {
+		t.Fatalf("got %d results, want %d", len(results), len(ids))
+	}
+	for i, r := range results {
+		if r.ID != ids[i] {
+			t.Errorf("result %d is %s, want %s", i, r.ID, ids[i])
+		}
+	}
+	if !errors.Is(results[1].Err, boom) {
+		t.Errorf("broken driver error = %v, want %v", results[1].Err, boom)
+	}
+	if results[2].Err == nil || !strings.Contains(results[2].Err.Error(), "panicked") {
+		t.Errorf("panicking driver error = %v, want panic report", results[2].Err)
+	}
+	if results[3].Err == nil || !strings.Contains(results[3].Err.Error(), "unknown") {
+		t.Errorf("missing driver error = %v, want unknown-experiment report", results[3].Err)
+	}
+	for _, i := range []int{0, 4} {
+		if results[i].Err != nil {
+			t.Errorf("%s must survive neighbours failing: %v", results[i].ID, results[i].Err)
+		}
+		if results[i].TableCount() != 1 {
+			t.Errorf("%s table count = %d, want 1", results[i].ID, results[i].TableCount())
+		}
+	}
+	m := Summarize(results)
+	if m.Drivers != 5 || m.Errors != 3 || m.Tables != 2 {
+		t.Errorf("metrics = %+v, want 5 drivers / 3 errors / 2 tables", m)
+	}
+}
+
+// TestCancellationStopsPromptly cancels the context while a slow driver
+// is in flight and asserts the pool returns quickly with the completed
+// prefix delivered and the rest marked cancelled.
+func TestCancellationStopsPromptly(t *testing.T) {
+	release := make(chan struct{})
+	drivers := map[string]Driver{
+		"fast": func(o Options) ([]Table, error) { return tableFor("fast", o), nil },
+		"slow": func(o Options) ([]Table, error) {
+			<-release
+			return tableFor("slow", o), nil
+		},
+	}
+	defer close(release)
+	ids := []string{"fast", "slow", "fast", "slow"}
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := RunnerOptions{Parallelism: 1, lookup: fakeRegistry(drivers)}
+
+	ch := Stream(ctx, ids, Options{Seed: 1}, cfg)
+	first := <-ch
+	if first.Err != nil || first.ID != "fast" {
+		t.Fatalf("first result = %+v, want clean fast", first)
+	}
+	cancel()
+
+	done := make(chan []Result, 1)
+	go func() { done <- collect(ch, len(ids)-1) }()
+	var rest []Result
+	select {
+	case rest = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool did not stop promptly after cancellation")
+	}
+	if len(rest) != len(ids)-1 {
+		t.Fatalf("got %d trailing results, want %d", len(rest), len(ids)-1)
+	}
+	for _, r := range rest {
+		if r.Err == nil || !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("%s after cancel: err = %v, want context.Canceled", r.ID, r.Err)
+		}
+	}
+}
+
+func TestPerDriverTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	drivers := map[string]Driver{
+		"stuck": func(o Options) ([]Table, error) { <-release; return nil, nil },
+		"fine":  func(o Options) ([]Table, error) { return tableFor("fine", o), nil },
+	}
+	cfg := RunnerOptions{
+		Parallelism: 2,
+		Timeout:     10 * time.Millisecond,
+		lookup:      fakeRegistry(drivers),
+	}
+	results := RunAll(context.Background(), []string{"stuck", "fine"}, Options{}, cfg)
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "timeout") {
+		t.Errorf("stuck driver error = %v, want timeout", results[0].Err)
+	}
+	if results[1].Err != nil {
+		t.Errorf("fine driver must not time out: %v", results[1].Err)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	drivers := map[string]Driver{
+		"sweepme": func(o Options) ([]Table, error) {
+			if !o.Quick {
+				return nil, errors.New("base options not threaded through")
+			}
+			return tableFor("sweepme", o), nil
+		},
+	}
+	seeds := []uint64{11, 22, 33, 44}
+	cfg := RunnerOptions{Parallelism: 4, lookup: fakeRegistry(drivers)}
+	results := RunSweep(context.Background(), "sweepme", seeds, Options{Quick: true}, cfg)
+	if len(results) != len(seeds) {
+		t.Fatalf("got %d results, want %d", len(results), len(seeds))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("seed %d: %v", seeds[i], r.Err)
+		}
+		if r.Seed != seeds[i] {
+			t.Errorf("result %d seed = %d, want %d (seed order must be preserved)", i, r.Seed, seeds[i])
+		}
+		if got := r.Tables[0].Rows[0][0]; got != fmt.Sprintf("%d", seeds[i]) {
+			t.Errorf("result %d ran with seed %s, want %d", i, got, seeds[i])
+		}
+	}
+}
+
+// TestSweepStochasticDriverVariance runs a real stochastic driver across
+// seeds and checks the sweep machinery against the registry end to end.
+func TestSweepStochasticDriverVariance(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	results := RunSweep(context.Background(), "table2", seeds, Options{Quick: true}, RunnerOptions{})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("seed %d: %v", seeds[i], r.Err)
+		}
+		if len(r.Tables) == 0 {
+			t.Fatalf("seed %d: no tables", seeds[i])
+		}
+		if r.Wall <= 0 {
+			t.Errorf("seed %d: wall time not recorded", seeds[i])
+		}
+	}
+	// Same seed must reproduce exactly; that is what makes the sweep a
+	// variance estimator rather than noise.
+	again := RunSweep(context.Background(), "table2", seeds[:1], Options{Quick: true}, RunnerOptions{})
+	var a, b bytes.Buffer
+	if err := results[0].Tables[0].Render(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := again[0].Tables[0].Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed must render identically across sweep runs")
+	}
+}
+
+func TestRunnerDefaultParallelism(t *testing.T) {
+	if w := (RunnerOptions{}).workers(); w < 1 {
+		t.Errorf("default worker count = %d, want >= 1", w)
+	}
+	if w := (RunnerOptions{Parallelism: 3}).workers(); w != 3 {
+		t.Errorf("worker count = %d, want 3", w)
+	}
+}
+
+func TestRunAllEmptyIDs(t *testing.T) {
+	results := RunAll(context.Background(), nil, Options{}, RunnerOptions{})
+	if len(results) != 0 {
+		t.Errorf("empty ID list produced %d results", len(results))
+	}
+}

@@ -88,13 +88,20 @@ func Scorecard(opts Options) ([]Anchor, error) {
 		add("w4_decode_speedup_"+string(spec.ID), spdPaper[spec.ID], base/w4, 0.20)
 	}
 
-	// Table X: Base accuracy of the strategy grid (twin sampling).
+	// Table X: Base accuracy of the strategy grid (twin sampling). An
+	// ordered slice, not a map: row order must be byte-stable run to run.
 	bank := data.MustLoad(data.MMLURedux, opts.Seed)
-	accPaper := map[model.ID]float64{
-		model.DSR1Qwen1_5B: 0.383, model.DSR1Llama8B: 0.617, model.DSR1Qwen14B: 0.806, model.L1Max: 0.438,
+	accPaper := []struct {
+		id   model.ID
+		want float64
+	}{
+		{model.DSR1Qwen1_5B, 0.383},
+		{model.DSR1Llama8B, 0.617},
+		{model.DSR1Qwen14B, 0.806},
+		{model.L1Max, 0.438},
 	}
-	for id, want := range accPaper {
-		tw := llm.NewTwin(model.MustLookup(id), bank, opts.Seed)
+	for _, a := range accPaper {
+		tw := llm.NewTwin(model.MustLookup(a.id), bank, opts.Seed)
 		sub := bank.Subsample(opts.sample(bank.Size()))
 		correct := 0
 		for _, q := range sub.Questions {
@@ -106,7 +113,7 @@ func Scorecard(opts Options) ([]Anchor, error) {
 				correct++
 			}
 		}
-		add("acc_base_"+string(id), want, float64(correct)/float64(sub.Size()), 0.08)
+		add("acc_base_"+string(a.id), a.want, float64(correct)/float64(sub.Size()), 0.08)
 	}
 
 	// Fig 9a: parallel-scaling gain at the 128 budget, 14B, SF32.
