@@ -6,6 +6,7 @@
 //	edgereasoning list                 # show available experiment IDs
 //	edgereasoning run <id> [flags]     # run one experiment
 //	edgereasoning all [flags]          # run the full suite
+//	edgereasoning fleet [flags]        # heterogeneous-fleet serving sweep
 //	edgereasoning sweep <id> [flags]   # fan one experiment across seeds
 //
 // Flags:
@@ -17,6 +18,10 @@
 //	-timeout D    per-driver timeout, e.g. 90s (default none)
 //	-metrics      print per-driver wall time and table counts to stderr
 //	-seeds LIST   comma-separated seeds for sweep (default 1..8)
+//	-replicas N   fleet size (fleet only; default 4)
+//	-devices L    comma-separated device cycle (fleet only)
+//	-policy P     routing policy or "all" (fleet only)
+//	-qps Q        offered load in requests/s (fleet only)
 //
 // Experiments run on a worker pool but the report is emitted in registry
 // order, so output is byte-identical at any parallelism.
@@ -35,6 +40,7 @@ import (
 	"time"
 
 	"edgereasoning/internal/experiments"
+	"edgereasoning/internal/fleet"
 )
 
 func main() {
@@ -79,7 +85,7 @@ func run(args []string) error {
 		if len(rest) == 0 {
 			return fmt.Errorf("run: missing experiment id")
 		}
-		cfg, err := parseFlags(rest[1:])
+		cfg, err := parseFlags(rest[1:], false)
 		if err != nil {
 			return err
 		}
@@ -88,7 +94,7 @@ func run(args []string) error {
 		}
 		return execute([]string{rest[0]}, cfg)
 	case "all":
-		cfg, err := parseFlags(rest)
+		cfg, err := parseFlags(rest, false)
 		if err != nil {
 			return err
 		}
@@ -96,11 +102,20 @@ func run(args []string) error {
 			return fmt.Errorf("all: -seeds only applies to sweep (use -seed)")
 		}
 		return execute(experiments.IDs(), cfg)
+	case "fleet":
+		cfg, err := parseFlags(rest, true)
+		if err != nil {
+			return err
+		}
+		if cfg.seedsSet {
+			return fmt.Errorf("fleet: -seeds only applies to sweep (use -seed)")
+		}
+		return execute([]string{"fleet"}, cfg)
 	case "sweep":
 		if len(rest) == 0 {
 			return fmt.Errorf("sweep: missing experiment id")
 		}
-		cfg, err := parseFlags(rest[1:])
+		cfg, err := parseFlags(rest[1:], false)
 		if err != nil {
 			return err
 		}
@@ -117,7 +132,9 @@ func run(args []string) error {
 	}
 }
 
-func parseFlags(args []string) (config, error) {
+// parseFlags parses the shared flag set; withFleet additionally
+// registers the fleet subcommand's routing knobs.
+func parseFlags(args []string, withFleet bool) (config, error) {
 	fs := flag.NewFlagSet("edgereasoning", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 7, "random seed")
 	quick := fs.Bool("quick", false, "subsample large banks")
@@ -126,6 +143,15 @@ func parseFlags(args []string) (config, error) {
 	timeout := fs.Duration("timeout", 0, "per-driver timeout (0 = none)")
 	metrics := fs.Bool("metrics", false, "print per-driver metrics to stderr")
 	seeds := fs.String("seeds", "", "comma-separated seeds for sweep (default 1..8)")
+	var replicas *int
+	var devices, policy *string
+	var qps *float64
+	if withFleet {
+		replicas = fs.Int("replicas", 0, "fleet size (0 = driver default of 4)")
+		devices = fs.String("devices", "", "comma-separated device cycle (default orin,orin-50w,orin-30w)")
+		policy = fs.String("policy", "all", "routing policy (round-robin, least-queue, latency-weighted, deadline-aware, all)")
+		qps = fs.Float64("qps", 0, "offered load in requests/s (0 = driver default)")
+	}
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -138,6 +164,22 @@ func parseFlags(args []string) (config, error) {
 		parallel: *parallel,
 		timeout:  *timeout,
 		metrics:  *metrics,
+	}
+	if withFleet {
+		// Validate the policy spelling here so a typo fails before the
+		// fleet spins up its engines.
+		if *policy != "" && *policy != "all" {
+			if _, err := fleet.ParsePolicy(*policy); err != nil {
+				return config{}, err
+			}
+		}
+		if _, err := fleet.ParseDevices(*devices); err != nil {
+			return config{}, err
+		}
+		cfg.opts.FleetReplicas = *replicas
+		cfg.opts.FleetDevices = *devices
+		cfg.opts.FleetPolicy = *policy
+		cfg.opts.FleetQPS = *qps
 	}
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -361,6 +403,7 @@ commands:
   list                 show available experiment IDs
   run <id> [flags]     run one experiment (e.g. "run table2")
   all [flags]          run the full suite
+  fleet [flags]        route open-loop traffic across a heterogeneous fleet
   sweep <id> [flags]   fan one experiment across seeds (variance estimation)
 
 flags:
@@ -370,5 +413,9 @@ flags:
   -parallel N   worker count (default GOMAXPROCS)
   -timeout D    per-driver timeout, e.g. 90s (default none)
   -metrics      print per-driver metrics to stderr
-  -seeds LIST   comma-separated seeds for sweep (default 1..8)`)
+  -seeds LIST   comma-separated seeds for sweep (default 1..8)
+  -replicas N   fleet size (fleet only; default 4)
+  -devices L    device cycle, e.g. orin,orin-50w (fleet only)
+  -policy P     round-robin | least-queue | latency-weighted | deadline-aware | all (fleet only)
+  -qps Q        offered load in requests/s (fleet only; default 2.0)`)
 }

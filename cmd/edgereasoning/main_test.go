@@ -51,6 +51,33 @@ func TestRunExperimentWithCSV(t *testing.T) {
 	}
 }
 
+func TestFleetSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"fleet", "-quick", "-replicas", "2", "-policy", "deadline", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fleet.csv", "fleet-verify.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing %s: %v", want, err)
+		}
+	}
+}
+
+func TestFleetSubcommandRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"fleet", "-policy", "chaos"}); err == nil {
+		t.Error("unknown policy must fail before engines spin up")
+	}
+	if err := run([]string{"fleet", "-devices", "tpu"}); err == nil {
+		t.Error("unknown device must fail before engines spin up")
+	}
+	if err := run([]string{"fleet", "-seeds", "1,2"}); err == nil {
+		t.Error("-seeds must be rejected on fleet")
+	}
+	if err := run([]string{"run", "qps", "-replicas", "4"}); err == nil {
+		t.Error("fleet flags must not leak into run")
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"run", "fig999"}); err == nil {
 		t.Error("unknown experiment must fail")

@@ -176,6 +176,137 @@ func TestServePercentilesOrdered(t *testing.T) {
 	}
 }
 
+// TestServeEdgeCases covers the serving loop's boundary conditions in
+// one table: empty streams, hopeless deadlines, tie-breaking, and the
+// degenerate batch sizes.
+func TestServeEdgeCases(t *testing.T) {
+	together := func(deadlines ...float64) []TimedRequest {
+		reqs := make([]TimedRequest, len(deadlines))
+		for i, d := range deadlines {
+			reqs[i] = timed(fmt.Sprintf("q%d", i), 0, 64, 50, d)
+		}
+		return reqs
+	}
+	cases := []struct {
+		name     string
+		reqs     []TimedRequest
+		maxBatch int
+		policy   SchedPolicy
+		check    func(t *testing.T, m ServeMetrics)
+	}{
+		{
+			name: "empty workload", reqs: nil, maxBatch: 4, policy: FCFS,
+			check: func(t *testing.T, m ServeMetrics) {
+				if len(m.Requests) != 0 || len(m.Latencies) != 0 {
+					t.Errorf("empty workload produced completions: %+v", m)
+				}
+				if m.WallTime != 0 || m.TotalEnergy != 0 {
+					t.Errorf("empty workload billed time/energy: %+v", m)
+				}
+				if m.HitRate() != 1 {
+					t.Errorf("empty workload hit rate = %v, want 1 (vacuous)", m.HitRate())
+				}
+			},
+		},
+		{
+			name: "all deadlines missed", reqs: together(0.001, 0.001, 0.001), maxBatch: 2, policy: EDF,
+			check: func(t *testing.T, m ServeMetrics) {
+				if m.DeadlinesTotal != 3 || m.DeadlinesMet != 0 {
+					t.Errorf("met %d of %d, want 0 of 3", m.DeadlinesMet, m.DeadlinesTotal)
+				}
+				if m.HitRate() != 0 {
+					t.Errorf("hit rate = %v, want 0", m.HitRate())
+				}
+				if len(m.Requests) != 3 {
+					t.Errorf("missed requests must still complete: %d of 3", len(m.Requests))
+				}
+			},
+		},
+		{
+			name: "EDF ties on deadline keep arrival order", reqs: together(40, 40, 40), maxBatch: 1, policy: EDF,
+			check: func(t *testing.T, m ServeMetrics) {
+				for i, want := range []string{"q0", "q1", "q2"} {
+					if m.Requests[i].ID != want {
+						t.Errorf("completion %d = %s, want %s (stable sort on equal deadlines)", i, m.Requests[i].ID, want)
+					}
+				}
+			},
+		},
+		{
+			name: "EDF parks deadline-less requests last", reqs: together(0, 40, 0), maxBatch: 1, policy: EDF,
+			check: func(t *testing.T, m ServeMetrics) {
+				if m.Requests[0].ID != "q1" {
+					t.Errorf("first completion = %s, want the deadline-bearing q1", m.Requests[0].ID)
+				}
+				// The two deadline-less requests retain arrival order.
+				if m.Requests[1].ID != "q0" || m.Requests[2].ID != "q2" {
+					t.Errorf("deadline-less tail order %s, %s, want q0, q2", m.Requests[1].ID, m.Requests[2].ID)
+				}
+			},
+		},
+		{
+			name: "FCFS ties on arrival keep input order", reqs: together(30, 0, 30), maxBatch: 1, policy: FCFS,
+			check: func(t *testing.T, m ServeMetrics) {
+				for i, want := range []string{"q0", "q1", "q2"} {
+					if m.Requests[i].ID != want {
+						t.Errorf("completion %d = %s, want %s", i, m.Requests[i].ID, want)
+					}
+				}
+			},
+		},
+		{
+			name: "maxBatch=1 serializes", reqs: together(0, 0, 0), maxBatch: 1, policy: FCFS,
+			check: func(t *testing.T, m ServeMetrics) {
+				// Strictly serial: each queue wait exceeds its predecessor's.
+				for i := 1; i < len(m.Requests); i++ {
+					if m.Requests[i].QueueTime <= m.Requests[i-1].QueueTime {
+						t.Errorf("request %d queue %.3f not after %d's %.3f",
+							i, m.Requests[i].QueueTime, i-1, m.Requests[i-1].QueueTime)
+					}
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := newOrinEngine(t, model.DSR1Qwen1_5B)
+			m, err := e.Serve(tc.reqs, tc.maxBatch, tc.policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, m)
+			if st := e.CacheStats(); st.UsedBlocks != 0 {
+				t.Errorf("leaked blocks: %+v", st)
+			}
+		})
+	}
+}
+
+// TestServeMaxBatchZeroClampsToOne pins the documented clamp: a
+// non-positive maxBatch degenerates to serial batch-1 serving.
+func TestServeMaxBatchZeroClampsToOne(t *testing.T) {
+	build := func() []TimedRequest {
+		return []TimedRequest{
+			timed("a", 0, 64, 60, 0),
+			timed("b", 0, 64, 60, 0),
+		}
+	}
+	e0 := newOrinEngine(t, model.DSR1Qwen1_5B)
+	m0, err := e0.Serve(build(), 0, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := newOrinEngine(t, model.DSR1Qwen1_5B)
+	m1, err := e1.Serve(build(), 1, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0.WallTime != m1.WallTime || m0.TotalEnergy != m1.TotalEnergy {
+		t.Errorf("maxBatch=0 (wall %.4f, energy %.2f) differs from maxBatch=1 (wall %.4f, energy %.2f)",
+			m0.WallTime, m0.TotalEnergy, m1.WallTime, m1.TotalEnergy)
+	}
+}
+
 func TestSchedPolicyString(t *testing.T) {
 	if FCFS.String() != "FCFS" || EDF.String() != "EDF" {
 		t.Error("policy names wrong")

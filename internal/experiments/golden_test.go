@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenReports locks byte-exact renderings of representative
+// drivers at the default seed: the scheduler comparison (guarding the
+// deterministic-report fix) and the fleet sweep (guarding the tentpole's
+// verify table, including its pass marks). Regenerate intentionally with
+//
+//	go test ./internal/experiments -run TestGoldenReports -update
+func TestGoldenReports(t *testing.T) {
+	for _, id := range []string{"sched", "fleet"} {
+		t.Run(id, func(t *testing.T) {
+			tables, err := Run(id, Options{Seed: 7, Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			for i := range tables {
+				if err := tables[i].Render(&buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			golden := filepath.Join("testdata", id+"_seed7_quick.golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s report drifted from golden file %s.\nIf the change is intentional, regenerate with -update.\ngot:\n%s\nwant:\n%s",
+					id, golden, buf.Bytes(), want)
+			}
+		})
+	}
+}

@@ -20,6 +20,14 @@ type Options struct {
 	// Quick subsamples the large banks so the full suite stays fast
 	// (useful in tests; benches run full size).
 	Quick bool
+
+	// Fleet* parameterize the "fleet" driver (the CLI's fleet
+	// subcommand threads them through); zero values select the driver's
+	// defaults and other drivers ignore them.
+	FleetReplicas int     // fleet size (default 4)
+	FleetPolicy   string  // routing policy, or ""/"all" for every policy
+	FleetQPS      float64 // offered load (default 2.0)
+	FleetDevices  string  // comma-separated device cycle (default heterogeneous Orin mix)
 }
 
 // DefaultOptions is the standard full-fidelity configuration.
@@ -182,6 +190,7 @@ func IDs() []string {
 		// Extensions beyond the paper's measured artifacts (§VI future
 		// work and design-choice ablations).
 		"saturation", "batchsweep", "powermodes", "specdec", "offload",
+		"fleet",
 	}
 	out := make([]string, 0, len(registry))
 	for _, id := range order {

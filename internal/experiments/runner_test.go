@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -28,23 +29,38 @@ func renderResults(t *testing.T, results []Result) []byte {
 	return buf.Bytes()
 }
 
-// TestParallelReportByteIdentical runs the full suite sequentially and at
-// parallelism 8 and asserts the rendered reports match byte for byte:
-// output order must depend only on the requested ID order, never on
-// completion order. Run under -race this also exercises the pool for
-// data races across all drivers.
+// TestParallelReportByteIdentical runs the full suite twice each at
+// parallelism 1 and parallelism 8 and asserts all four rendered reports
+// match byte for byte: output must depend only on the requested ID
+// order and the seed — never on completion order or scheduling luck.
+// Run under -race this also exercises the pool for data races across
+// all drivers.
 func TestParallelReportByteIdentical(t *testing.T) {
 	ids := IDs()
 	opts := Options{Seed: 7, Quick: true}
-	seq := RunAll(context.Background(), ids, opts, RunnerOptions{Parallelism: 1})
-	par := RunAll(context.Background(), ids, opts, RunnerOptions{Parallelism: 8})
-	if len(seq) != len(ids) || len(par) != len(ids) {
-		t.Fatalf("result counts: sequential %d, parallel %d, want %d", len(seq), len(par), len(ids))
+	runs := []struct {
+		name        string
+		parallelism int
+	}{
+		{"sequential-1st", 1},
+		{"sequential-2nd", 1},
+		{"parallel-1st", 8},
+		{"parallel-2nd", 8},
 	}
-	seqOut := renderResults(t, seq)
-	parOut := renderResults(t, par)
-	if !bytes.Equal(seqOut, parOut) {
-		t.Errorf("parallel report differs from sequential (%d vs %d bytes)", len(parOut), len(seqOut))
+	var golden []byte
+	for _, r := range runs {
+		results := RunAll(context.Background(), ids, opts, RunnerOptions{Parallelism: r.parallelism})
+		if len(results) != len(ids) {
+			t.Fatalf("%s: %d results, want %d", r.name, len(results), len(ids))
+		}
+		out := renderResults(t, results)
+		if golden == nil {
+			golden = out
+			continue
+		}
+		if !bytes.Equal(out, golden) {
+			t.Errorf("%s report differs from the first run (%d vs %d bytes)", r.name, len(out), len(golden))
+		}
 	}
 }
 
@@ -174,6 +190,64 @@ func TestCancellationStopsPromptly(t *testing.T) {
 		if r.Err == nil || !errors.Is(r.Err, context.Canceled) {
 			t.Errorf("%s after cancel: err = %v, want context.Canceled", r.ID, r.Err)
 		}
+	}
+}
+
+// TestCancellationNoGoroutineLeak cancels mid-suite and asserts two
+// things the CLI depends on: every requested ID still yields exactly one
+// fail-soft Result (no aborts, no holes), and — once the abandoned
+// drivers are released — the pool's goroutines all drain away.
+func TestCancellationNoGoroutineLeak(t *testing.T) {
+	release := make(chan struct{})
+	drivers := map[string]Driver{
+		"ok": func(o Options) ([]Table, error) { return tableFor("ok", o), nil },
+		"block": func(o Options) ([]Table, error) {
+			<-release
+			return tableFor("block", o), nil
+		},
+	}
+	ids := []string{"ok", "block", "block", "ok", "block", "ok"}
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := RunnerOptions{Parallelism: 3, lookup: fakeRegistry(drivers)}
+	ch := Stream(ctx, ids, Options{Seed: 1}, cfg)
+	first := <-ch
+	if first.ID != "ok" || first.Err != nil {
+		t.Fatalf("first result = %+v, want clean ok", first)
+	}
+	cancel()
+	results := append([]Result{first}, collect(ch, len(ids)-1)...)
+
+	if len(results) != len(ids) {
+		t.Fatalf("got %d results, want %d (fail-soft: one per requested ID)", len(results), len(ids))
+	}
+	for i, r := range results {
+		if r.ID != ids[i] {
+			t.Errorf("result %d is %s, want %s", i, r.ID, ids[i])
+		}
+		if r.Err != nil && !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("%s: err = %v, want nil or context.Canceled", r.ID, r.Err)
+		}
+	}
+
+	// Unblock the abandoned driver goroutines; the pool must then return
+	// to its pre-Stream goroutine census. Poll because their final sends
+	// land on buffered channels asynchronously.
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // nudge finalization so the count settles
+		if runtime.NumGoroutine() <= baseline+1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -25,6 +25,9 @@ func ExpDecayFit(x, y []float64) (ExpDecay, error) {
 	if len(x) != len(y) || len(x) < 3 {
 		return ExpDecay{}, errors.New("fit: exp decay needs >= 3 samples")
 	}
+	if !allFinite(x) || !allFinite(y) {
+		return ExpDecay{}, ErrNonFinite
+	}
 	best := ExpDecay{}
 	bestErr := math.Inf(1)
 	// Two-stage grid: coarse scan then refinement around the winner.

@@ -1,0 +1,94 @@
+package fit
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// samplesFromBytes decodes the payload into (x, y) pairs, passing raw
+// bit patterns straight through — NaN, ±Inf, subnormals and all — so
+// the fits' non-finite guards are genuinely exercised.
+func samplesFromBytes(data []byte) (x, y []float64) {
+	const pair = 16
+	n := len(data) / pair
+	if n > 64 {
+		n = 64 // keep the grid-search fits fast under the fuzzer
+	}
+	for i := 0; i < n; i++ {
+		x = append(x, math.Float64frombits(binary.LittleEndian.Uint64(data[i*pair:])))
+		y = append(y, math.Float64frombits(binary.LittleEndian.Uint64(data[i*pair+8:])))
+	}
+	return x, y
+}
+
+func addSamples(f *testing.F, xs, ys []float64) {
+	buf := make([]byte, 0, len(xs)*16)
+	for i := range xs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(xs[i]))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(ys[i]))
+	}
+	f.Add(buf)
+}
+
+// FuzzFitCurves asserts the fitting toolbox's core contract: every fit
+// either returns an error or a model with finite parameters — never a
+// silently poisoned curve. On well-scaled finite samples a successful
+// model must also evaluate finite at its own sample points.
+func FuzzFitCurves(f *testing.F) {
+	addSamples(f, []float64{1, 2, 3, 4, 5, 6, 7, 8}, []float64{2, 5, 10, 17, 26, 37, 50, 65})
+	addSamples(f, []float64{1, 10, 100, 1000, 2000, 4000}, []float64{5, 5, 5, 9, 11, 13})
+	addSamples(f, []float64{0.5, 1, 2, 4, 8, 16}, []float64{10, 7, 4, 2.5, 2.1, 2})
+	addSamples(f, []float64{1, 2, math.NaN(), 4, 5, 6}, []float64{1, 2, 3, 4, 5, 6})
+	addSamples(f, []float64{1, 2, 3, 4, 5, 6}, []float64{1, math.Inf(1), 3, 4, 5, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, y := samplesFromBytes(data)
+		if len(x) < 2 {
+			return
+		}
+		sane := allFinite(x) && allFinite(y)
+		for _, v := range append(append([]float64{}, x...), y...) {
+			if math.Abs(v) > 1e6 {
+				sane = false
+			}
+		}
+		checkCurve := func(name string, c Curve, params ...float64) {
+			t.Helper()
+			if !allFinite(params) {
+				t.Fatalf("%s: accepted fit with non-finite parameters %v (x=%v y=%v)", name, params, x, y)
+			}
+			if !sane {
+				return
+			}
+			for _, xi := range x {
+				if v := c.Eval(xi); math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s: Eval(%v) = %v on sane samples (x=%v y=%v)", name, xi, v, x, y)
+				}
+			}
+		}
+		if p, err := PolyFit(x, y, 2); err == nil {
+			checkCurve("PolyFit", p, p.Coeffs...)
+		}
+		if m, n, err := LinearFit(x, y); err == nil {
+			checkCurve("LinearFit", Poly{Coeffs: []float64{n, m}}, m, n)
+		}
+		if ll, err := LogLinearFit(x, y); err == nil {
+			checkCurve("LogLinearFit", ll, ll.Alpha, ll.Beta)
+		}
+		if len(x) >= 3 {
+			if ed, err := ExpDecayFit(x, y); err == nil {
+				checkCurve("ExpDecayFit", ed, ed.A, ed.Lambda, ed.C)
+			}
+		}
+		if len(x) >= 4 {
+			if pw, err := PiecewiseConstLogFit(x, y); err == nil {
+				checkCurve("PiecewiseConstLogFit", pw, pw.Breakpoint)
+			}
+		}
+		if len(x) >= 6 {
+			if pw, err := PiecewiseExpLogFit(x, y); err == nil {
+				checkCurve("PiecewiseExpLogFit", pw, pw.Breakpoint)
+			}
+		}
+	})
+}

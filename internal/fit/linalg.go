@@ -14,6 +14,21 @@ import (
 // solution (e.g. fewer distinct samples than coefficients).
 var ErrSingular = errors.New("fit: singular system (not enough independent samples)")
 
+// ErrNonFinite is returned when a fit sees NaN or ±Inf samples, or when
+// the solve itself overflows. Fits must fail loudly rather than hand a
+// silently poisoned curve to the latency and power models.
+var ErrNonFinite = errors.New("fit: non-finite sample or solution")
+
+// allFinite reports whether every value is a normal float (no NaN/±Inf).
+func allFinite(xs []float64) bool {
+	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // solveLinear solves A x = b in place using Gaussian elimination with
 // partial pivoting. A is row-major n×n; b has length n.
 func solveLinear(a [][]float64, b []float64) ([]float64, error) {
@@ -74,6 +89,9 @@ func leastSquares(design [][]float64, y []float64) ([]float64, error) {
 	if m == 0 || len(y) != m {
 		return nil, errors.New("fit: empty or mismatched data")
 	}
+	if !allFinite(y) {
+		return nil, ErrNonFinite
+	}
 	p := len(design[0])
 	// Normal equations: (XᵀX) coef = Xᵀy.
 	xtx := make([][]float64, p)
@@ -86,6 +104,9 @@ func leastSquares(design [][]float64, y []float64) ([]float64, error) {
 		if len(row) != p {
 			return nil, errors.New("fit: ragged design matrix")
 		}
+		if !allFinite(row) {
+			return nil, ErrNonFinite
+		}
 		for i := 0; i < p; i++ {
 			for j := 0; j < p; j++ {
 				xtx[i][j] += row[i] * row[j]
@@ -93,5 +114,18 @@ func leastSquares(design [][]float64, y []float64) ([]float64, error) {
 			xty[i] += row[i] * y[r]
 		}
 	}
-	return solveLinear(xtx, xty)
+	for i := range xtx {
+		// Finite rows can still overflow the normal equations (x⁴ terms).
+		if !allFinite(xtx[i]) || math.IsNaN(xty[i]) || math.IsInf(xty[i], 0) {
+			return nil, ErrNonFinite
+		}
+	}
+	coeffs, err := solveLinear(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+	if !allFinite(coeffs) {
+		return nil, ErrNonFinite
+	}
+	return coeffs, nil
 }

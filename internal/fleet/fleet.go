@@ -1,0 +1,421 @@
+// Package fleet simulates serving one open-loop request stream across a
+// pool of heterogeneous replica engines — mixed device profiles (AGX
+// Orin power modes, server parts) and mixed weight formats (FP16 and
+// W4A16). A deterministic router assigns each arriving request to a
+// replica under a pluggable Policy; each replica then executes its
+// sub-stream on the full vLLM-style engine (engine.Serve), and the
+// per-replica results are folded into fleet-wide Metrics.
+//
+// The router works on calibrated estimates (a batch-1 probe of each
+// replica's prefill and decode rates) while the replicas execute on the
+// exact simulator, mirroring a real load balancer that routes on cheap
+// health signals rather than ground truth. Admission is a global FIFO
+// queue with per-replica capacity: when every routable replica is at
+// capacity, the stream head waits (head-of-line blocking, as a real
+// shared ingress queue would) and later requests queue behind it.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edgereasoning/internal/engine"
+	"edgereasoning/internal/hw"
+	"edgereasoning/internal/model"
+	"edgereasoning/internal/stats"
+)
+
+// ReplicaConfig describes one engine in the fleet.
+type ReplicaConfig struct {
+	// Name labels the replica in metrics (default "r<i>-<device>").
+	Name   string
+	Spec   model.Spec
+	Device *hw.Device
+	// MaxBatch bounds concurrent decoders on the replica (default 4).
+	MaxBatch int
+	// Capacity bounds outstanding (queued + executing) requests the
+	// router may park on the replica (default 16).
+	Capacity int
+	// WarmupDelay keeps the replica unroutable before this simulated
+	// time — a cold start loading weights. Zero means warm at t=0.
+	WarmupDelay float64
+	// FailAt, when positive, makes the replica unroutable at and after
+	// this simulated time. Requests routed earlier still complete (a
+	// drain-style failure, not a crash).
+	FailAt float64
+}
+
+func (rc ReplicaConfig) withDefaults(i int) ReplicaConfig {
+	if rc.MaxBatch <= 0 {
+		rc.MaxBatch = 4
+	}
+	if rc.Capacity <= 0 {
+		rc.Capacity = 16
+	}
+	if rc.Name == "" && rc.Device != nil {
+		rc.Name = fmt.Sprintf("r%d-%s", i, rc.Device.Name)
+	}
+	return rc
+}
+
+// Config assembles a fleet.
+type Config struct {
+	Replicas []ReplicaConfig
+	Policy   Policy
+}
+
+// ReplicaMetrics reports one replica's share of the run.
+type ReplicaMetrics struct {
+	Name   string
+	Device string
+	Model  string
+	// Assigned counts requests routed to the replica.
+	Assigned int
+	engine.ServeMetrics
+	// BusyTime sums per-request service time (prefill + decode); batched
+	// decode double-counts overlap, so compare it across replicas, not
+	// against wall time.
+	BusyTime float64
+}
+
+// Metrics aggregates a fleet run.
+type Metrics struct {
+	Policy   Policy
+	Replicas []ReplicaMetrics
+	// Served counts completed requests; Dropped counts requests no
+	// replica could ever take (all failed or never warm).
+	Served  int
+	Dropped int
+	// Fleet-wide latency distribution over all completions.
+	P50Latency  float64
+	P95Latency  float64
+	P99Latency  float64
+	MeanLatency float64
+	// Deadline accounting; dropped deadline-bearing requests count as
+	// missed.
+	DeadlinesMet   int
+	DeadlinesTotal int
+	TotalEnergy    float64 // joules across the fleet
+	// WallTime is the last completion time on any replica.
+	WallTime float64
+	// Imbalance is the coefficient of variation of per-replica BusyTime:
+	// 0 is a perfectly even spread, higher means hot spots.
+	Imbalance float64
+}
+
+// HitRate returns the fraction of deadline-bearing requests that met
+// their deadline (1.0 when none carry deadlines).
+func (m Metrics) HitRate() float64 {
+	if m.DeadlinesTotal == 0 {
+		return 1
+	}
+	return float64(m.DeadlinesMet) / float64(m.DeadlinesTotal)
+}
+
+// replica is the router-side state for one engine.
+type replica struct {
+	cfg ReplicaConfig
+	eng *engine.Engine
+	// Calibrated batch-1 rates from the warm-up probe.
+	prefillPerTok float64
+	decodePerTok  float64
+	// assigned is the replica's sub-stream, in dispatch order.
+	assigned []engine.TimedRequest
+	// delays records per-request global-queue wait (dispatch − arrival),
+	// folded back into latency accounting after the engine runs.
+	delays map[string]float64
+	// finishes holds estimated completion times of outstanding requests,
+	// sorted ascending; estFreeAt is the serial-backlog horizon.
+	finishes  []float64
+	estFreeAt float64
+	wrrCredit float64
+}
+
+// estService estimates the batch-1 service time of a request.
+func (r *replica) estService(tr engine.TimedRequest) float64 {
+	return r.prefillPerTok*float64(tr.PromptTokens) + r.decodePerTok*float64(tr.OutputTokens)
+}
+
+// speed is the router's weight for latency-weighted spreading: estimated
+// throughput on a reference interactive request.
+func (r *replica) speed() float64 {
+	ref := engine.TimedRequest{Request: engine.Request{PromptTokens: 180, OutputTokens: 40}}
+	if s := r.estService(ref); s > 0 {
+		return 1 / s
+	}
+	return 0
+}
+
+// routableAt reports whether the router may hand the replica a request
+// at time t (warm and not failed); capacity is checked separately.
+func (r *replica) routableAt(t float64) bool {
+	if t < r.cfg.WarmupDelay {
+		return false
+	}
+	if r.cfg.FailAt > 0 && t >= r.cfg.FailAt {
+		return false
+	}
+	return true
+}
+
+// depth drops completed estimates and returns outstanding count at t.
+func (r *replica) depth(t float64) int {
+	done := sort.Search(len(r.finishes), func(k int) bool { return r.finishes[k] > t })
+	r.finishes = r.finishes[done:]
+	return len(r.finishes)
+}
+
+// take records the dispatch of tr at time t.
+func (r *replica) take(tr engine.TimedRequest, t float64) {
+	est := math.Max(r.estFreeAt, t) + r.estService(tr)
+	r.estFreeAt = est
+	i := sort.SearchFloat64s(r.finishes, est)
+	r.finishes = append(r.finishes, 0)
+	copy(r.finishes[i+1:], r.finishes[i:])
+	r.finishes[i] = est
+	r.assigned = append(r.assigned, tr)
+}
+
+// Serve routes the open-loop stream across the fleet and executes every
+// replica's sub-stream. Requests must not predate t=0; the input slice
+// is not modified.
+func Serve(cfg Config, reqs []engine.TimedRequest) (Metrics, error) {
+	if len(cfg.Replicas) == 0 {
+		return Metrics{}, fmt.Errorf("fleet: no replicas configured")
+	}
+	replicas := make([]*replica, len(cfg.Replicas))
+	for i, rc := range cfg.Replicas {
+		rc = rc.withDefaults(i)
+		eng, err := engine.New(engine.Config{Spec: rc.Spec, Device: rc.Device})
+		if err != nil {
+			return Metrics{}, fmt.Errorf("fleet: replica %s: %w", rc.Name, err)
+		}
+		// Calibrate the router's service-time estimate with a scratch
+		// engine so the serving engine's clock stays at zero.
+		probe, err := engine.New(engine.Config{Spec: rc.Spec, Device: rc.Device})
+		if err != nil {
+			return Metrics{}, fmt.Errorf("fleet: replica %s: %w", rc.Name, err)
+		}
+		const probePrompt, probeOut = 256, 128
+		pm, err := probe.Generate(engine.Request{ID: "probe", PromptTokens: probePrompt, OutputTokens: probeOut})
+		if err != nil {
+			return Metrics{}, fmt.Errorf("fleet: replica %s probe: %w", rc.Name, err)
+		}
+		replicas[i] = &replica{
+			cfg:           rc,
+			eng:           eng,
+			prefillPerTok: pm.PrefillTime / probePrompt,
+			decodePerTok:  pm.DecodeTime / probeOut,
+			delays:        map[string]float64{},
+		}
+	}
+
+	stream := make([]engine.TimedRequest, len(reqs))
+	copy(stream, reqs)
+	sort.SliceStable(stream, func(i, j int) bool { return stream[i].Arrival < stream[j].Arrival })
+	if len(stream) > 0 && stream[0].Arrival < 0 {
+		return Metrics{}, fmt.Errorf("fleet: request %q arrives at negative time %.3f", stream[0].ID, stream[0].Arrival)
+	}
+
+	var out Metrics
+	out.Policy = cfg.Policy
+	router := &router{replicas: replicas, policy: cfg.Policy}
+	for _, tr := range stream {
+		// Global FIFO queue: a request cannot be dispatched before the
+		// one ahead of it (head-of-line blocking under full admission).
+		t := math.Max(tr.Arrival, router.lastDispatch)
+		r, admitAt, ok := router.place(tr, t)
+		if !ok {
+			out.Dropped++
+			if tr.Deadline > 0 {
+				out.DeadlinesTotal++
+			}
+			continue
+		}
+		// The engine sees the dispatch time as the arrival; the wait in
+		// the global queue is re-added to the request's latency below.
+		adjusted := tr
+		adjusted.Arrival = admitAt
+		if admitAt > tr.Arrival {
+			r.delays[tr.ID] = admitAt - tr.Arrival
+		}
+		r.take(adjusted, admitAt)
+		router.lastDispatch = admitAt
+	}
+
+	discipline := cfg.Policy.LocalDiscipline()
+	var latencies []float64
+	var busy []float64
+	for _, r := range replicas {
+		sm, err := r.eng.Serve(r.assigned, r.cfg.MaxBatch, discipline)
+		if err != nil {
+			return out, fmt.Errorf("fleet: replica %s: %w", r.cfg.Name, err)
+		}
+		// Fold the global-queue wait back into end-to-end latency.
+		// Requests and Latencies are parallel slices in completion order.
+		if len(r.delays) > 0 {
+			for i := range sm.Requests {
+				if d := r.delays[sm.Requests[i].ID]; d > 0 {
+					sm.Requests[i].QueueTime += d
+					sm.Latencies[i] += d
+				}
+			}
+			if len(sm.Latencies) > 0 {
+				sm.MeanLatency = stats.Mean(sm.Latencies)
+				sm.P50Latency = stats.Percentile(sm.Latencies, 50)
+				sm.P95Latency = stats.Percentile(sm.Latencies, 95)
+				sm.P99Latency = stats.Percentile(sm.Latencies, 99)
+			}
+		}
+		rm := ReplicaMetrics{
+			Name:         r.cfg.Name,
+			Device:       r.cfg.Device.Name,
+			Model:        string(r.cfg.Spec.ID),
+			Assigned:     len(r.assigned),
+			ServeMetrics: sm,
+		}
+		for _, m := range sm.Requests {
+			rm.BusyTime += m.TotalTime()
+		}
+		out.Replicas = append(out.Replicas, rm)
+		out.Served += len(sm.Requests)
+		out.DeadlinesMet += sm.DeadlinesMet
+		out.DeadlinesTotal += sm.DeadlinesTotal
+		out.TotalEnergy += sm.TotalEnergy
+		if r.eng.Clock() > out.WallTime {
+			out.WallTime = r.eng.Clock()
+		}
+		latencies = append(latencies, sm.Latencies...)
+		busy = append(busy, rm.BusyTime)
+	}
+	if len(latencies) > 0 {
+		out.MeanLatency = stats.Mean(latencies)
+		out.P50Latency = stats.Percentile(latencies, 50)
+		out.P95Latency = stats.Percentile(latencies, 95)
+		out.P99Latency = stats.Percentile(latencies, 99)
+	}
+	out.Imbalance = imbalance(busy)
+	return out, nil
+}
+
+// imbalance is the population coefficient of variation.
+func imbalance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mean := stats.Mean(xs)
+	if mean <= 0 {
+		return 0
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(xs))) / mean
+}
+
+// router owns the dispatch-time state shared across requests.
+type router struct {
+	replicas     []*replica
+	policy       Policy
+	rrNext       int
+	lastDispatch float64
+}
+
+// place finds the replica and admission time for tr: at time t if a
+// routable replica has capacity, else at the earliest moment one frees
+// up or warms up. ok is false when no replica can ever take the request.
+func (ro *router) place(tr engine.TimedRequest, t float64) (*replica, float64, bool) {
+	for {
+		var candidates []int
+		for i, r := range ro.replicas {
+			if r.routableAt(t) && r.depth(t) < r.cfg.Capacity {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) > 0 {
+			return ro.replicas[ro.choose(candidates, tr, t)], t, true
+		}
+		// Everyone is full, cold, or dead: advance to the next time a
+		// replica could accept — its earliest outstanding completion, or
+		// the end of its warm-up.
+		next := math.Inf(1)
+		for _, r := range ro.replicas {
+			switch {
+			case r.cfg.FailAt > 0 && t >= r.cfg.FailAt:
+				// Dead for good.
+			case t < r.cfg.WarmupDelay:
+				if r.cfg.FailAt <= 0 || r.cfg.WarmupDelay < r.cfg.FailAt {
+					next = math.Min(next, r.cfg.WarmupDelay)
+				}
+			case len(r.finishes) > 0:
+				free := r.finishes[0]
+				if r.cfg.FailAt <= 0 || free < r.cfg.FailAt {
+					next = math.Min(next, free)
+				}
+			}
+		}
+		if math.IsInf(next, 1) {
+			return nil, 0, false
+		}
+		t = next
+	}
+}
+
+// choose applies the routing policy over the candidate indices (which
+// are always non-empty and sorted ascending).
+func (ro *router) choose(candidates []int, tr engine.TimedRequest, t float64) int {
+	switch ro.policy {
+	case LeastQueue:
+		best := candidates[0]
+		for _, i := range candidates[1:] {
+			if len(ro.replicas[i].finishes) < len(ro.replicas[best].finishes) {
+				best = i
+			}
+		}
+		return best
+	case LatencyWeighted:
+		// Smooth weighted round-robin (nginx-style): deterministic and
+		// proportional to replica speed over any window.
+		total := 0.0
+		for _, i := range candidates {
+			w := ro.replicas[i].speed()
+			ro.replicas[i].wrrCredit += w
+			total += w
+		}
+		best := candidates[0]
+		for _, i := range candidates[1:] {
+			if ro.replicas[i].wrrCredit > ro.replicas[best].wrrCredit {
+				best = i
+			}
+		}
+		ro.replicas[best].wrrCredit -= total
+		return best
+	case DeadlineAware:
+		// Earliest estimated completion: the replica most likely to get
+		// the request in under its deadline.
+		best, bestFinish := candidates[0], math.Inf(1)
+		for _, i := range candidates {
+			r := ro.replicas[i]
+			est := math.Max(r.estFreeAt, t) + r.estService(tr)
+			if est < bestFinish {
+				best, bestFinish = i, est
+			}
+		}
+		return best
+	default: // RoundRobin
+		n := len(ro.replicas)
+		for off := 0; off < n; off++ {
+			i := (ro.rrNext + off) % n
+			for _, c := range candidates {
+				if c == i {
+					ro.rrNext = i + 1
+					return i
+				}
+			}
+		}
+		return candidates[0] // unreachable: candidates is non-empty
+	}
+}

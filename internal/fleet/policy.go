@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"edgereasoning/internal/engine"
+)
+
+// Policy selects how the fleet router assigns an arriving request to a
+// replica. Routing is deterministic: given the same stream and fleet
+// configuration, every policy produces the same assignment run-to-run.
+type Policy int
+
+const (
+	// RoundRobin cycles through routable replicas in index order,
+	// ignoring load and speed (the blind baseline).
+	RoundRobin Policy = iota
+	// LeastQueue routes to the replica with the fewest outstanding
+	// requests, breaking ties by index.
+	LeastQueue
+	// LatencyWeighted spreads load proportionally to replica speed via
+	// smooth weighted round-robin: a replica that serves the request
+	// twice as fast receives twice the traffic.
+	LatencyWeighted
+	// DeadlineAware routes to the replica with the earliest estimated
+	// completion for the request — the one most likely to meet its EDF
+	// deadline — and schedules each replica's local queue EDF.
+	DeadlineAware
+)
+
+// Policies lists all routing policies in stable order.
+func Policies() []Policy {
+	return []Policy{RoundRobin, LeastQueue, LatencyWeighted, DeadlineAware}
+}
+
+// String names the policy as used in tables and CLI flags.
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastQueue:
+		return "least-queue"
+	case LatencyWeighted:
+		return "latency-weighted"
+	case DeadlineAware:
+		return "deadline-aware"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// LocalDiscipline is the per-replica queue discipline the policy implies:
+// deadline-aware routing pairs with EDF locally, everything else FCFS.
+func (p Policy) LocalDiscipline() engine.SchedPolicy {
+	if p == DeadlineAware {
+		return engine.EDF
+	}
+	return engine.FCFS
+}
+
+// ParsePolicy resolves a CLI spelling to a Policy. Accepted names are the
+// String() forms plus the shorthands rr, lq, latency, and deadline.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "round-robin", "roundrobin", "rr":
+		return RoundRobin, nil
+	case "least-queue", "leastqueue", "lq":
+		return LeastQueue, nil
+	case "latency-weighted", "latency", "lw":
+		return LatencyWeighted, nil
+	case "deadline-aware", "deadline", "da":
+		return DeadlineAware, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown policy %q (have round-robin, least-queue, latency-weighted, deadline-aware)", s)
+}

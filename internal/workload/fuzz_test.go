@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzGenerate hammers the stream generator with arbitrary profile
+// parameters (including NaN/Inf, which Validate must refuse) and checks
+// the invariants every downstream consumer relies on: arrivals are
+// finite, non-negative, and non-decreasing; token counts are positive;
+// deadlines are finite and never precede their request's arrival.
+func FuzzGenerate(f *testing.F) {
+	f.Add(uint64(7), 0.3, 50, 180.0, 0.35, 40.0, 0.4, 5.0, 20.0)
+	f.Add(uint64(1), 100.0, 1, 8.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+	f.Add(uint64(42), 1e-6, 10, 1e6, 3.0, 1e6, 3.0, 1e6, 1e-6)
+	f.Add(uint64(3), math.NaN(), 10, 180.0, 0.35, 40.0, 0.4, 0.0, 0.0)
+	f.Add(uint64(4), 0.5, 10, 180.0, 700.0, 40.0, 0.4, math.Inf(1), 0.0)
+	f.Fuzz(func(t *testing.T, seed uint64, qps float64, n int,
+		promptMean, promptSigma, outputMean, outputSigma, slack, slackMax float64) {
+		// Bound the stream length so a wild n cannot stall the fuzzer;
+		// everything else goes through as-is.
+		if n > 512 {
+			n = 512
+		}
+		p := Profile{
+			QPS: qps, N: n,
+			PromptMean: promptMean, PromptSigma: promptSigma,
+			OutputMean: outputMean, OutputSigma: outputSigma,
+			DeadlineSlack: slack, DeadlineSlackMax: slackMax,
+		}
+		reqs, err := Generate(p, seed)
+		if err != nil {
+			return // rejected profiles are fine; silent corruption is not
+		}
+		if len(reqs) != n {
+			t.Fatalf("generated %d requests, want %d", len(reqs), n)
+		}
+		prev := 0.0
+		for i, r := range reqs {
+			if math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) || r.Arrival < 0 {
+				t.Fatalf("request %d: bad arrival %v", i, r.Arrival)
+			}
+			if r.Arrival < prev {
+				t.Fatalf("request %d: arrival %v before predecessor %v", i, r.Arrival, prev)
+			}
+			prev = r.Arrival
+			if r.PromptTokens < 8 {
+				t.Fatalf("request %d: prompt %d below the generator floor", i, r.PromptTokens)
+			}
+			if r.OutputTokens < 1 {
+				t.Fatalf("request %d: output %d below 1", i, r.OutputTokens)
+			}
+			if math.IsNaN(r.Deadline) || math.IsInf(r.Deadline, 0) {
+				t.Fatalf("request %d: non-finite deadline %v", i, r.Deadline)
+			}
+			if r.Deadline != 0 && r.Deadline < r.Arrival {
+				t.Fatalf("request %d: deadline %v precedes arrival %v", i, r.Deadline, r.Arrival)
+			}
+		}
+		// Same (profile, seed) must reproduce byte-for-byte.
+		again, err := Generate(p, seed)
+		if err != nil {
+			t.Fatalf("second generation failed: %v", err)
+		}
+		for i := range reqs {
+			if reqs[i] != again[i] {
+				t.Fatalf("request %d not deterministic: %+v vs %+v", i, reqs[i], again[i])
+			}
+		}
+	})
+}

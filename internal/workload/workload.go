@@ -35,15 +35,26 @@ type Profile struct {
 	DeadlineSlackMax float64
 }
 
-// Validate rejects unusable profiles.
+// Validate rejects unusable profiles. Non-finite parameters are refused
+// here so a poisoned profile can never emit NaN/Inf arrivals or
+// deadlines into a serving run.
 func (p Profile) Validate() error {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 	switch {
-	case p.QPS <= 0:
-		return fmt.Errorf("workload: QPS must be positive")
+	case !(p.QPS > 0) || !finite(p.QPS):
+		return fmt.Errorf("workload: QPS must be positive and finite")
 	case p.N <= 0:
 		return fmt.Errorf("workload: N must be positive")
-	case p.PromptMean <= 0 || p.OutputMean <= 0:
-		return fmt.Errorf("workload: length means must be positive")
+	case !(p.PromptMean > 0) || !finite(p.PromptMean) || !(p.OutputMean > 0) || !finite(p.OutputMean):
+		return fmt.Errorf("workload: length means must be positive and finite")
+	case math.IsNaN(p.PromptSigma) || p.PromptSigma < 0 || math.IsInf(p.PromptSigma, 0):
+		return fmt.Errorf("workload: prompt sigma must be finite and non-negative")
+	case math.IsNaN(p.OutputSigma) || p.OutputSigma < 0 || math.IsInf(p.OutputSigma, 0):
+		return fmt.Errorf("workload: output sigma must be finite and non-negative")
+	case math.IsNaN(p.DeadlineSlack) || p.DeadlineSlack < 0 || math.IsInf(p.DeadlineSlack, 0):
+		return fmt.Errorf("workload: deadline slack must be finite and non-negative")
+	case math.IsNaN(p.DeadlineSlackMax) || p.DeadlineSlackMax < 0 || math.IsInf(p.DeadlineSlackMax, 0):
+		return fmt.Errorf("workload: deadline slack max must be finite and non-negative")
 	}
 	return nil
 }
