@@ -1,0 +1,173 @@
+// Command benchcheck maintains and enforces the repository's benchmark
+// trajectory file (BENCH_serve.json).
+//
+// It reads raw `go test -bench -benchmem` output on stdin and either:
+//
+//	benchcheck -baseline BENCH_serve.json -update   # rewrite the "current" section
+//	benchcheck -baseline BENCH_serve.json           # gate: fail on allocs/op regression
+//
+// Only allocs/op is gated — it is deterministic across machines, while
+// ns/op varies with hardware and is reported for information only. A
+// fresh measurement fails the check when it exceeds
+// baseline*(1+tolerance)+slack. The "pre_pr" section records the
+// pre-optimization tree and is preserved verbatim on update, so the
+// before/after story stays in the file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// Measurement is one benchmark target's recorded numbers.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Section is one labelled set of measurements.
+type Section struct {
+	Note    string                 `json:"note,omitempty"`
+	Go      string                 `json:"go,omitempty"`
+	Targets map[string]Measurement `json:"targets"`
+}
+
+// File is the BENCH_serve.json schema.
+type File struct {
+	Schema  int     `json:"schema"`
+	Note    string  `json:"note,omitempty"`
+	PrePR   Section `json:"pre_pr"`
+	Current Section `json:"current"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result row, e.g.
+//
+//	BenchmarkServeHotLoop-8   35095   97204 ns/op   32184 B/op   60 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op\s+([0-9]+) B/op\s+([0-9]+) allocs/op`)
+
+// parseBench extracts measurements from raw benchmark output.
+func parseBench(r io.Reader) (map[string]Measurement, error) {
+	out := make(map[string]Measurement)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchcheck: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		bytes, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchcheck: bad B/op in %q: %w", sc.Text(), err)
+		}
+		allocs, err := strconv.ParseInt(m[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchcheck: bad allocs/op in %q: %w", sc.Text(), err)
+		}
+		out[m[1]] = Measurement{NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchcheck: no benchmark result lines on stdin (need -benchmem output)")
+	}
+	return out, nil
+}
+
+// check compares fresh measurements against the baseline targets,
+// returning one line per comparison and an error if any allocs/op
+// regressed beyond tolerance. Targets missing from the fresh run fail:
+// a silently dropped benchmark would otherwise retire its own gate.
+func check(baseline, fresh map[string]Measurement, tolerance float64, slack int64, w io.Writer) error {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failed []string
+	for _, name := range names {
+		base := baseline[name]
+		got, ok := fresh[name]
+		if !ok {
+			failed = append(failed, name)
+			fmt.Fprintf(w, "MISS %s: target not present in this run\n", name)
+			continue
+		}
+		limit := int64(float64(base.AllocsPerOp)*(1+tolerance)) + slack
+		status := "ok  "
+		if got.AllocsPerOp > limit {
+			status = "FAIL"
+			failed = append(failed, name)
+		}
+		fmt.Fprintf(w, "%s %s: allocs/op %d (baseline %d, limit %d); ns/op %.0f (baseline %.0f, informational)\n",
+			status, name, got.AllocsPerOp, base.AllocsPerOp, limit, got.NsPerOp, base.NsPerOp)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("benchcheck: %d of %d targets regressed or missing: %v", len(failed), len(baseline), failed)
+	}
+	return nil
+}
+
+// update rewrites the file's "current" section with fresh measurements,
+// preserving the pre-PR reference section byte-for-byte in meaning.
+func update(f *File, fresh map[string]Measurement) {
+	f.Schema = 1
+	f.Current = Section{
+		Note:    "latest committed measurement; regenerate with scripts/bench.sh update",
+		Go:      runtime.Version(),
+		Targets: fresh,
+	}
+}
+
+func run(baselinePath string, doUpdate bool, tolerance float64, slack int64, stdin io.Reader, stdout io.Writer) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("benchcheck: parse %s: %w", baselinePath, err)
+	}
+	fresh, err := parseBench(stdin)
+	if err != nil {
+		return err
+	}
+	if doUpdate {
+		update(&f, fresh)
+		out, err := json.MarshalIndent(&f, "", "  ")
+		if err != nil {
+			return err
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(baselinePath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "benchcheck: wrote %d targets to %s\n", len(fresh), baselinePath)
+		return nil
+	}
+	return check(f.Current.Targets, fresh, tolerance, slack, stdout)
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_serve.json", "benchmark trajectory file")
+	doUpdate := flag.Bool("update", false, "rewrite the baseline's current section from stdin instead of checking")
+	tolerance := flag.Float64("tolerance", 0.25, "fractional allocs/op headroom before a regression fails")
+	slack := flag.Int64("slack", 8, "absolute allocs/op headroom added on top of the tolerance")
+	flag.Parse()
+	if err := run(*baseline, *doUpdate, *tolerance, *slack, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: edgereasoning/internal/engine
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkServeHotLoop 	   35095	     97204 ns/op	   32184 B/op	      60 allocs/op
+BenchmarkRunHotLoop-8 	   79651	     45502.5 ns/op	   29640 B/op	      41 allocs/op
+PASS
+ok  	edgereasoning/internal/engine	18.945s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d targets, want 2: %v", len(got), got)
+	}
+	serve := got["BenchmarkServeHotLoop"]
+	if serve.NsPerOp != 97204 || serve.BytesPerOp != 32184 || serve.AllocsPerOp != 60 {
+		t.Errorf("ServeHotLoop = %+v", serve)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped and fractional ns parsed.
+	run := got["BenchmarkRunHotLoop"]
+	if run.NsPerOp != 45502.5 || run.AllocsPerOp != 41 {
+		t.Errorf("RunHotLoop = %+v", run)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Error("no result lines must fail")
+	}
+}
+
+func TestCheckPassAndFail(t *testing.T) {
+	baseline := map[string]Measurement{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 60},
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 10},
+	}
+	// Within tolerance: 60 -> 70 with 25% + 8 slack (limit 83).
+	fresh := map[string]Measurement{
+		"BenchmarkA": {NsPerOp: 500, AllocsPerOp: 70}, // ns/op never gates
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 10},
+	}
+	var out strings.Builder
+	if err := check(baseline, fresh, 0.25, 8, &out); err != nil {
+		t.Fatalf("within-tolerance check failed: %v\n%s", err, out.String())
+	}
+	// Beyond tolerance.
+	fresh["BenchmarkB"] = Measurement{AllocsPerOp: 25} // limit 10*1.25+8 = 20
+	if err := check(baseline, fresh, 0.25, 8, &out); err == nil {
+		t.Error("allocs regression beyond tolerance must fail")
+	}
+}
+
+func TestCheckMissingTargetFails(t *testing.T) {
+	baseline := map[string]Measurement{"BenchmarkA": {AllocsPerOp: 5}}
+	var out strings.Builder
+	if err := check(baseline, map[string]Measurement{}, 0.25, 8, &out); err == nil {
+		t.Error("a baseline target absent from the run must fail the gate")
+	}
+}
+
+func TestUpdatePreservesPrePR(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_serve.json")
+	seed := File{
+		Schema: 1,
+		PrePR: Section{
+			Note:    "frozen reference",
+			Targets: map[string]Measurement{"BenchmarkServeHotLoop": {NsPerOp: 847534, AllocsPerOp: 396}},
+		},
+		Current: Section{Targets: map[string]Measurement{"BenchmarkServeHotLoop": {NsPerOp: 1, AllocsPerOp: 1}}},
+	}
+	data, err := json.MarshalIndent(seed, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout strings.Builder
+	if err := run(path, true, 0.25, 8, strings.NewReader(sampleBench), &stdout); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got File
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.PrePR.Note != "frozen reference" || got.PrePR.Targets["BenchmarkServeHotLoop"].AllocsPerOp != 396 {
+		t.Errorf("pre_pr section not preserved: %+v", got.PrePR)
+	}
+	if got.Current.Targets["BenchmarkServeHotLoop"].AllocsPerOp != 60 {
+		t.Errorf("current section not rewritten: %+v", got.Current)
+	}
+	// And the rewritten file must pass its own gate on the same input.
+	if err := run(path, false, 0.25, 8, strings.NewReader(sampleBench), &stdout); err != nil {
+		t.Errorf("self-check after update failed: %v", err)
+	}
+}

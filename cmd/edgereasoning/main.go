@@ -17,6 +17,8 @@
 //	-parallel N   worker count (default GOMAXPROCS)
 //	-timeout D    per-driver timeout, e.g. 90s (default none)
 //	-metrics      print per-driver wall time and table counts to stderr
+//	-cpuprofile F write a CPU profile of the run to F
+//	-memprofile F write a heap profile at exit to F
 //	-seeds LIST   comma-separated seeds for sweep (default 1..8)
 //	-replicas N   fleet size (fleet only; default 4)
 //	-devices L    comma-separated device cycle (fleet only)
@@ -35,6 +37,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -52,12 +56,14 @@ func main() {
 
 // config is the parsed flag set for one invocation.
 type config struct {
-	opts     experiments.Options
-	csvDir   string
-	parallel int
-	timeout  time.Duration
-	metrics  bool
-	seeds    []uint64
+	opts       experiments.Options
+	csvDir     string
+	parallel   int
+	timeout    time.Duration
+	metrics    bool
+	cpuProfile string
+	memProfile string
+	seeds      []uint64
 	// seedSet / seedsSet record which of the mutually-exclusive seed
 	// flags the user passed, so the wrong one for a command is rejected
 	// instead of silently ignored.
@@ -142,6 +148,8 @@ func parseFlags(args []string, withFleet bool) (config, error) {
 	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "per-driver timeout (0 = none)")
 	metrics := fs.Bool("metrics", false, "print per-driver metrics to stderr")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	seeds := fs.String("seeds", "", "comma-separated seeds for sweep (default 1..8)")
 	var replicas *int
 	var devices, policy *string
@@ -159,11 +167,13 @@ func parseFlags(args []string, withFleet bool) (config, error) {
 		return config{}, fmt.Errorf("unexpected arguments %q (flags go after the experiment id)", fs.Args())
 	}
 	cfg := config{
-		opts:     experiments.Options{Seed: *seed, Quick: *quick},
-		csvDir:   *csvDir,
-		parallel: *parallel,
-		timeout:  *timeout,
-		metrics:  *metrics,
+		opts:       experiments.Options{Seed: *seed, Quick: *quick},
+		csvDir:     *csvDir,
+		parallel:   *parallel,
+		timeout:    *timeout,
+		metrics:    *metrics,
+		cpuProfile: *cpuProfile,
+		memProfile: *memProfile,
 	}
 	if withFleet {
 		// Validate the policy spelling here so a typo fails before the
@@ -262,7 +272,17 @@ func label(r experiments.Result, bySeed bool) string {
 // as they arrive and collecting failures instead of aborting on the
 // first one. bySeed switches on the sweep dressing: per-result seed
 // headers and seed-tagged CSV names.
-func emit(cfg config, total int, bySeed bool, stream func(context.Context) <-chan experiments.Result) error {
+func emit(cfg config, total int, bySeed bool, stream func(context.Context) <-chan experiments.Result) (retErr error) {
+	stopProfiles, err := startProfiles(cfg.cpuProfile, cfg.memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		// A broken profile write should not mask a driver failure.
+		if perr := stopProfiles(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 	if cfg.csvDir != "" {
 		if err := os.MkdirAll(cfg.csvDir, 0o755); err != nil {
 			return err
@@ -341,6 +361,52 @@ func emit(cfg config, total int, bySeed bool, stream func(context.Context) <-cha
 	}
 }
 
+// startProfiles begins CPU profiling (when cpuPath is set) and returns a
+// stop function that ends it and writes a heap profile (when memPath is
+// set), so suite runs can be profiled without editing code:
+//
+//	edgereasoning all -quick -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				return first
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = err
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}
+
 // driverStat is the lightweight per-driver record kept for -metrics, so
 // rendered tables can be dropped as soon as they are emitted.
 type driverStat struct {
@@ -413,6 +479,8 @@ flags:
   -parallel N   worker count (default GOMAXPROCS)
   -timeout D    per-driver timeout, e.g. 90s (default none)
   -metrics      print per-driver metrics to stderr
+  -cpuprofile F write a CPU profile of the run to F
+  -memprofile F write a heap profile at exit to F
   -seeds LIST   comma-separated seeds for sweep (default 1..8)
   -replicas N   fleet size (fleet only; default 4)
   -devices L    device cycle, e.g. orin,orin-50w (fleet only)

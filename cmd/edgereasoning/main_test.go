@@ -51,6 +51,30 @@ func TestRunExperimentWithCSV(t *testing.T) {
 	}
 }
 
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	if err := run([]string{"run", "saturation", "-quick", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestProfileFlagBadPath(t *testing.T) {
+	if err := run([]string{"run", "saturation", "-quick", "-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out")}); err == nil {
+		t.Error("unwritable cpuprofile path must fail")
+	}
+}
+
 func TestFleetSubcommand(t *testing.T) {
 	dir := t.TempDir()
 	if err := run([]string{"fleet", "-quick", "-replicas", "2", "-policy", "deadline", "-csv", dir}); err != nil {

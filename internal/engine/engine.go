@@ -245,37 +245,76 @@ func (e *Engine) Generate(req Request) (Metrics, error) {
 	return b.Requests[0], nil
 }
 
-// activeSeq is a request mid-decode.
+// activeSeq is a request mid-decode. The KV handle is resolved once at
+// admission so the decode loop never touches the cache's sequence map;
+// arrival/deadline ride along here instead of in side maps.
 type activeSeq struct {
 	req       Request
+	handle    kvcache.Handle
 	ctx       int // prompt + generated so far
 	remaining int
 	metrics   Metrics
-	submitted float64
+	arrival   float64
+	deadline  float64
+}
+
+// reap records every completed sequence (remaining <= 0) through finish —
+// in descending index order, matching the historical deletion loop so
+// completion-ordered outputs are unchanged — then compacts the active
+// set in one order-preserving, allocation-free pass.
+func reap(active []*activeSeq, finish func(*activeSeq) error) ([]*activeSeq, error) {
+	done := 0
+	for i := len(active) - 1; i >= 0; i-- {
+		if active[i].remaining <= 0 {
+			if err := finish(active[i]); err != nil {
+				return active, err
+			}
+			done++
+		}
+	}
+	if done == 0 {
+		return active, nil
+	}
+	kept := active[:0]
+	for _, s := range active {
+		if s.remaining > 0 {
+			kept = append(kept, s)
+		}
+	}
+	for i := len(kept); i < len(active); i++ {
+		active[i] = nil // no stale pointers past the compacted tail
+	}
+	return kept, nil
 }
 
 // Run executes requests FCFS with continuous batching up to maxBatch
 // concurrent decoders. Prefill is unbatched (the paper's configuration);
 // decode advances in closed-form chunks between admission and completion
-// events, with chunk energy attributed to active sequences equally.
+// events, with chunk energy attributed to active sequences equally. The
+// loop is O(events), not O(tokens): KV accounting advances whole chunks
+// through resolved handles and admission headroom is an incrementally
+// maintained counter.
 func (e *Engine) Run(reqs []Request, maxBatch int) (BatchMetrics, error) {
 	if maxBatch <= 0 {
 		maxBatch = 1
 	}
-	queue := make([]Request, len(reqs))
-	copy(queue, reqs)
-	var active []*activeSeq
+	queue := reqs // only re-sliced, never mutated
+	active := make([]*activeSeq, 0, maxBatch)
+	// One arena allocation covers every sequence's bookkeeping; slots are
+	// handed out at admission and the backing array never reallocates, so
+	// the *activeSeq pointers in the active set stay stable.
+	arena := make([]activeSeq, len(reqs))
+	admitted := 0
 	var out BatchMetrics
+	out.Requests = make([]Metrics, 0, len(reqs))
 	start := e.clock
 
-	finish := func(i int) error {
-		s := active[i]
-		if err := e.cache.Free(s.req.ID); err != nil {
+	finish := func(s *activeSeq) error {
+		if err := e.cache.FreeH(s.handle); err != nil {
 			return err
 		}
 		out.Requests = append(out.Requests, s.metrics)
 		out.TotalTokens += s.req.PromptTokens + s.req.OutputTokens
-		active = append(active[:i], active[i+1:]...)
 		return nil
 	}
 
@@ -289,14 +328,12 @@ func (e *Engine) Run(reqs []Request, maxBatch int) (BatchMetrics, error) {
 	// futureGrowth is the worst-case block demand of the active set's
 	// remaining decode. Admission reserves against it so a request can
 	// never exhaust the cache mid-decode (the simulator's stand-in for
-	// vLLM's preemption machinery).
-	futureGrowth := func() int {
-		g := 0
-		for _, s := range active {
-			g += blocksFor(s.ctx+s.remaining) - blocksFor(s.ctx)
-		}
-		return g
-	}
+	// vLLM's preemption machinery). It is adjusted on admit and append —
+	// a sequence's contribution is blocksFor(total) − blocksFor(ctx),
+	// which reaches zero exactly when it finishes — instead of rescanned
+	// per admission attempt.
+	futureGrowth := 0
+	ctxs := make([]int, 0, maxBatch) // scratch, reused every decode event
 
 	for len(queue) > 0 || len(active) > 0 {
 		// Admit while there is room.
@@ -306,7 +343,7 @@ func (e *Engine) Run(reqs []Request, maxBatch int) (BatchMetrics, error) {
 				return out, fmt.Errorf("engine: request %q has no prompt", req.ID)
 			}
 			worstCase := blocksFor(req.PromptTokens + req.OutputTokens)
-			if worstCase+futureGrowth() > e.cache.Stats().FreeBlocks {
+			if worstCase+futureGrowth > e.cache.FreeBlocks() {
 				if len(active) > 0 {
 					break // drain the active set to free capacity first
 				}
@@ -317,7 +354,20 @@ func (e *Engine) Run(reqs []Request, maxBatch int) (BatchMetrics, error) {
 				return out, fmt.Errorf("engine: admit %q: %w", req.ID, err)
 			}
 			queue = queue[1:]
-			s := &activeSeq{req: req, ctx: req.PromptTokens, remaining: req.OutputTokens, submitted: start}
+			s := &arena[admitted]
+			admitted++
+			*s = activeSeq{req: req, ctx: req.PromptTokens, remaining: req.OutputTokens}
+			h, err := e.cache.Lookup(req.ID)
+			if err != nil {
+				return out, fmt.Errorf("engine: admit %q: %w", req.ID, err)
+			}
+			s.handle = h
+			// The final length is known up front; reserving the block
+			// table now keeps the whole decode allocation-free.
+			if err := e.cache.ReserveH(h, req.PromptTokens+req.OutputTokens); err != nil {
+				return out, fmt.Errorf("engine: admit %q: %w", req.ID, err)
+			}
+			futureGrowth += worstCase - blocksFor(req.PromptTokens)
 			s.metrics = Metrics{ID: req.ID, PromptTokens: req.PromptTokens, OutputTokens: req.OutputTokens}
 			s.metrics.QueueTime = e.clock - start
 			res, err := e.prefill(req.PromptTokens)
@@ -344,12 +394,9 @@ func (e *Engine) Run(reqs []Request, maxBatch int) (BatchMetrics, error) {
 		}
 		if chunk <= 0 {
 			// Zero-output request(s): finish immediately.
-			for i := len(active) - 1; i >= 0; i-- {
-				if active[i].remaining == 0 {
-					if err := finish(i); err != nil {
-						return out, err
-					}
-				}
+			var err error
+			if active, err = reap(active, finish); err != nil {
+				return out, err
 			}
 			continue
 		}
@@ -359,9 +406,9 @@ func (e *Engine) Run(reqs []Request, maxBatch int) (BatchMetrics, error) {
 				chunk = admitGrain
 			}
 		}
-		ctxs := make([]int, len(active))
-		for i, s := range active {
-			ctxs[i] = s.ctx
+		ctxs = ctxs[:0]
+		for _, s := range active {
+			ctxs = append(ctxs, s.ctx)
 		}
 		res := e.decodeChunk(ctxs, chunk)
 		energy := e.meter.Energy(res)
@@ -370,26 +417,22 @@ func (e *Engine) Run(reqs []Request, maxBatch int) (BatchMetrics, error) {
 		perSeqTime := res.Time
 		perSeqEnergy := energy / float64(len(active))
 		for _, s := range active {
-			for t := 0; t < chunk; t++ {
-				if err := e.cache.AppendToken(s.req.ID); err != nil {
-					return out, fmt.Errorf("engine: decode %q: %w", s.req.ID, err)
-				}
+			if err := e.cache.AppendTokensH(s.handle, chunk); err != nil {
+				return out, fmt.Errorf("engine: decode %q: %w", s.req.ID, err)
 			}
+			futureGrowth -= blocksFor(s.ctx+chunk) - blocksFor(s.ctx)
 			s.ctx += chunk
 			s.remaining -= chunk
 			s.metrics.DecodeTime += perSeqTime
 			s.metrics.DecodeEnergy += perSeqEnergy
 		}
-		for i := len(active) - 1; i >= 0; i-- {
-			if active[i].remaining <= 0 {
-				if err := finish(i); err != nil {
-					return out, err
-				}
-			}
+		var err error
+		if active, err = reap(active, finish); err != nil {
+			return out, err
 		}
 	}
 	out.WallTime = e.clock - start
-	out.PeakKVBlocks = e.cache.Stats().PeakUsed
+	out.PeakKVBlocks = e.cache.PeakUsed()
 	return out, nil
 }
 
@@ -422,9 +465,9 @@ func (e *Engine) RunParallel(promptTokens int, outputs []int) (BatchMetrics, err
 		// then grows privately.
 		need += blocksFor(promptTokens+o) - blocksFor(promptTokens) + 1
 	}
-	if need > e.cache.Stats().FreeBlocks {
+	if need > e.cache.FreeBlocks() {
 		return out, fmt.Errorf("engine: parallel fan-out of %d branches needs %d KV blocks, %d free",
-			len(outputs), need, e.cache.Stats().FreeBlocks)
+			len(outputs), need, e.cache.FreeBlocks())
 	}
 
 	root := "par-0"
@@ -441,6 +484,7 @@ func (e *Engine) RunParallel(promptTokens int, outputs []int) (BatchMetrics, err
 
 	type branch struct {
 		id        string
+		handle    kvcache.Handle
 		ctx       int
 		remaining int
 		m         Metrics
@@ -453,7 +497,14 @@ func (e *Engine) RunParallel(promptTokens int, outputs []int) (BatchMetrics, err
 				return out, err
 			}
 		}
-		branches[i] = &branch{id: id, ctx: promptTokens, remaining: outputs[i]}
+		h, err := e.cache.Lookup(id)
+		if err != nil {
+			return out, err
+		}
+		if err := e.cache.ReserveH(h, promptTokens+outputs[i]); err != nil {
+			return out, err
+		}
+		branches[i] = &branch{id: id, handle: h, ctx: promptTokens, remaining: outputs[i]}
 		branches[i].m = Metrics{ID: id, PromptTokens: promptTokens, OutputTokens: outputs[i]}
 	}
 	branches[0].m.PrefillTime = res.Time
@@ -466,11 +517,12 @@ func (e *Engine) RunParallel(promptTokens int, outputs []int) (BatchMetrics, err
 		} else {
 			out.Requests = append(out.Requests, branches[i].m)
 			out.TotalTokens += promptTokens + branches[i].m.OutputTokens
-			if err := e.cache.Free(branches[i].id); err != nil {
+			if err := e.cache.FreeH(branches[i].handle); err != nil {
 				return out, err
 			}
 		}
 	}
+	ctxs := make([]int, 0, len(activeIdx)) // scratch, reused every decode event
 	for len(activeIdx) > 0 {
 		chunk := branches[activeIdx[0]].remaining
 		for _, i := range activeIdx {
@@ -478,9 +530,9 @@ func (e *Engine) RunParallel(promptTokens int, outputs []int) (BatchMetrics, err
 				chunk = branches[i].remaining
 			}
 		}
-		ctxs := make([]int, len(activeIdx))
-		for k, i := range activeIdx {
-			ctxs[k] = branches[i].ctx
+		ctxs = ctxs[:0]
+		for _, i := range activeIdx {
+			ctxs = append(ctxs, branches[i].ctx)
 		}
 		dres := e.decodeChunk(ctxs, chunk)
 		energy := e.meter.Energy(dres)
@@ -490,10 +542,8 @@ func (e *Engine) RunParallel(promptTokens int, outputs []int) (BatchMetrics, err
 		next := activeIdx[:0]
 		for _, i := range activeIdx {
 			b := branches[i]
-			for t := 0; t < chunk; t++ {
-				if err := e.cache.AppendToken(b.id); err != nil {
-					return out, err
-				}
+			if err := e.cache.AppendTokensH(b.handle, chunk); err != nil {
+				return out, err
 			}
 			b.ctx += chunk
 			b.remaining -= chunk
@@ -502,7 +552,7 @@ func (e *Engine) RunParallel(promptTokens int, outputs []int) (BatchMetrics, err
 			if b.remaining <= 0 {
 				out.Requests = append(out.Requests, b.m)
 				out.TotalTokens += promptTokens + b.m.OutputTokens
-				if err := e.cache.Free(b.id); err != nil {
+				if err := e.cache.FreeH(b.handle); err != nil {
 					return out, err
 				}
 			} else {
@@ -512,7 +562,7 @@ func (e *Engine) RunParallel(promptTokens int, outputs []int) (BatchMetrics, err
 		activeIdx = next
 	}
 	out.WallTime = e.clock - start
-	out.PeakKVBlocks = e.cache.Stats().PeakUsed
+	out.PeakKVBlocks = e.cache.PeakUsed()
 	return out, nil
 }
 

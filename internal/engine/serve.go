@@ -72,10 +72,14 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 	}
 
 	var ready []TimedRequest
-	var active []*activeSeq
-	arrivals := make(map[string]float64, len(reqs))
-	deadlines := make(map[string]float64, len(reqs))
+	active := make([]*activeSeq, 0, maxBatch)
+	// Arena of sequence bookkeeping: fixed-size, so slot pointers are
+	// stable for the run's lifetime.
+	arena := make([]activeSeq, len(reqs))
+	admitted := 0
 	var out ServeMetrics
+	out.Requests = make([]Metrics, 0, len(reqs))
+	out.Latencies = make([]float64, 0, len(reqs))
 
 	blocksFor := func(tokens int) int {
 		if tokens <= 0 {
@@ -83,13 +87,11 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 		}
 		return (tokens + e.cfg.BlockSize - 1) / e.cfg.BlockSize
 	}
-	futureGrowth := func() int {
-		g := 0
-		for _, s := range active {
-			g += blocksFor(s.ctx+s.remaining) - blocksFor(s.ctx)
-		}
-		return g
-	}
+	// futureGrowth reserves the active set's worst-case remaining block
+	// demand, maintained incrementally (admit adds, append subtracts)
+	// instead of rescanned per admission attempt.
+	futureGrowth := 0
+	ctxs := make([]int, 0, maxBatch) // scratch, reused every decode event
 	promote := func() {
 		for len(pending) > 0 && pending[0].Arrival <= e.clock+1e-12 {
 			ready = append(ready, pending[0])
@@ -108,23 +110,21 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 			})
 		}
 	}
-	finish := func(i int) error {
-		s := active[i]
-		if err := e.cache.Free(s.req.ID); err != nil {
+	finish := func(s *activeSeq) error {
+		if err := e.cache.FreeH(s.handle); err != nil {
 			return err
 		}
-		lat := e.clock - arrivals[s.req.ID]
+		lat := e.clock - s.arrival
 		out.Latencies = append(out.Latencies, lat)
-		if d := deadlines[s.req.ID]; d > 0 {
+		if s.deadline > 0 {
 			out.DeadlinesTotal++
-			if e.clock <= d {
+			if e.clock <= s.deadline {
 				out.DeadlinesMet++
 			}
 		}
 		s.metrics.QueueTime = lat - s.metrics.TotalTime()
 		out.Requests = append(out.Requests, s.metrics)
 		out.TotalTokens += s.req.PromptTokens + s.req.OutputTokens
-		active = append(active[:i], active[i+1:]...)
 		return nil
 	}
 
@@ -146,7 +146,7 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 				return out, fmt.Errorf("engine: request %q has no prompt", tr.ID)
 			}
 			worstCase := blocksFor(tr.PromptTokens + tr.OutputTokens)
-			if worstCase+futureGrowth() > e.cache.Stats().FreeBlocks {
+			if worstCase+futureGrowth > e.cache.FreeBlocks() {
 				if len(active) > 0 {
 					break
 				}
@@ -156,9 +156,19 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 			if err := e.cache.Allocate(tr.ID, tr.PromptTokens); err != nil {
 				return out, err
 			}
-			arrivals[tr.ID] = tr.Arrival
-			deadlines[tr.ID] = tr.Deadline
-			s := &activeSeq{req: tr.Request, ctx: tr.PromptTokens, remaining: tr.OutputTokens}
+			s := &arena[admitted]
+			admitted++
+			*s = activeSeq{req: tr.Request, ctx: tr.PromptTokens, remaining: tr.OutputTokens,
+				arrival: tr.Arrival, deadline: tr.Deadline}
+			h, err := e.cache.Lookup(tr.ID)
+			if err != nil {
+				return out, err
+			}
+			s.handle = h
+			if err := e.cache.ReserveH(h, tr.PromptTokens+tr.OutputTokens); err != nil {
+				return out, err
+			}
+			futureGrowth += worstCase - blocksFor(tr.PromptTokens)
 			s.metrics = Metrics{ID: tr.ID, PromptTokens: tr.PromptTokens, OutputTokens: tr.OutputTokens}
 			res, err := e.prefill(tr.PromptTokens)
 			if err != nil {
@@ -183,12 +193,9 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 			}
 		}
 		if chunk <= 0 {
-			for i := len(active) - 1; i >= 0; i-- {
-				if active[i].remaining == 0 {
-					if err := finish(i); err != nil {
-						return out, err
-					}
-				}
+			var err error
+			if active, err = reap(active, finish); err != nil {
+				return out, err
 			}
 			continue
 		}
@@ -196,9 +203,9 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 		if (len(pending) > 0 || len(ready) > 0) && chunk > admitGrain {
 			chunk = admitGrain
 		}
-		ctxs := make([]int, len(active))
-		for i, s := range active {
-			ctxs[i] = s.ctx
+		ctxs = ctxs[:0]
+		for _, s := range active {
+			ctxs = append(ctxs, s.ctx)
 		}
 		res := e.decodeChunk(ctxs, chunk)
 		energy := e.meter.Energy(res)
@@ -206,31 +213,26 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 		out.TotalEnergy += energy
 		perSeqEnergy := energy / float64(len(active))
 		for _, s := range active {
-			for t := 0; t < chunk; t++ {
-				if err := e.cache.AppendToken(s.req.ID); err != nil {
-					return out, err
-				}
+			if err := e.cache.AppendTokensH(s.handle, chunk); err != nil {
+				return out, err
 			}
+			futureGrowth -= blocksFor(s.ctx+chunk) - blocksFor(s.ctx)
 			s.ctx += chunk
 			s.remaining -= chunk
 			s.metrics.DecodeTime += res.Time
 			s.metrics.DecodeEnergy += perSeqEnergy
 		}
-		for i := len(active) - 1; i >= 0; i-- {
-			if active[i].remaining <= 0 {
-				if err := finish(i); err != nil {
-					return out, err
-				}
-			}
+		var err error
+		if active, err = reap(active, finish); err != nil {
+			return out, err
 		}
 	}
 	out.WallTime = e.clock - start
-	out.PeakKVBlocks = e.cache.Stats().PeakUsed
+	out.PeakKVBlocks = e.cache.PeakUsed()
 	if len(out.Latencies) > 0 {
 		out.MeanLatency = stats.Mean(out.Latencies)
-		out.P50Latency = stats.Percentile(out.Latencies, 50)
-		out.P95Latency = stats.Percentile(out.Latencies, 95)
-		out.P99Latency = stats.Percentile(out.Latencies, 99)
+		p := stats.Percentiles(out.Latencies, 50, 95, 99)
+		out.P50Latency, out.P95Latency, out.P99Latency = p[0], p[1], p[2]
 	}
 	return out, nil
 }

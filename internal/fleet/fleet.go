@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"edgereasoning/internal/engine"
 	"edgereasoning/internal/hw"
@@ -247,25 +248,42 @@ func Serve(cfg Config, reqs []engine.TimedRequest) (Metrics, error) {
 	discipline := cfg.Policy.LocalDiscipline()
 	var latencies []float64
 	var busy []float64
-	for _, r := range replicas {
-		sm, err := r.eng.Serve(r.assigned, r.cfg.MaxBatch, discipline)
+	// The replicas' sub-streams are independent once routed, so their
+	// drain phases simulate concurrently; results are folded back in
+	// replica order, keeping the output deterministic at any parallelism.
+	type drained struct {
+		sm  engine.ServeMetrics
+		err error
+	}
+	results := make([]drained, len(replicas))
+	var wg sync.WaitGroup
+	for i, r := range replicas {
+		wg.Add(1)
+		go func(i int, r *replica) {
+			defer wg.Done()
+			sm, err := r.eng.Serve(r.assigned, r.cfg.MaxBatch, discipline)
+			results[i] = drained{sm: sm, err: err}
+		}(i, r)
+	}
+	wg.Wait()
+	for i, r := range replicas {
+		sm, err := results[i].sm, results[i].err
 		if err != nil {
 			return out, fmt.Errorf("fleet: replica %s: %w", r.cfg.Name, err)
 		}
 		// Fold the global-queue wait back into end-to-end latency.
 		// Requests and Latencies are parallel slices in completion order.
 		if len(r.delays) > 0 {
-			for i := range sm.Requests {
-				if d := r.delays[sm.Requests[i].ID]; d > 0 {
-					sm.Requests[i].QueueTime += d
-					sm.Latencies[i] += d
+			for j := range sm.Requests {
+				if d := r.delays[sm.Requests[j].ID]; d > 0 {
+					sm.Requests[j].QueueTime += d
+					sm.Latencies[j] += d
 				}
 			}
 			if len(sm.Latencies) > 0 {
 				sm.MeanLatency = stats.Mean(sm.Latencies)
-				sm.P50Latency = stats.Percentile(sm.Latencies, 50)
-				sm.P95Latency = stats.Percentile(sm.Latencies, 95)
-				sm.P99Latency = stats.Percentile(sm.Latencies, 99)
+				p := stats.Percentiles(sm.Latencies, 50, 95, 99)
+				sm.P50Latency, sm.P95Latency, sm.P99Latency = p[0], p[1], p[2]
 			}
 		}
 		rm := ReplicaMetrics{
@@ -291,9 +309,8 @@ func Serve(cfg Config, reqs []engine.TimedRequest) (Metrics, error) {
 	}
 	if len(latencies) > 0 {
 		out.MeanLatency = stats.Mean(latencies)
-		out.P50Latency = stats.Percentile(latencies, 50)
-		out.P95Latency = stats.Percentile(latencies, 95)
-		out.P99Latency = stats.Percentile(latencies, 99)
+		p := stats.Percentiles(latencies, 50, 95, 99)
+		out.P50Latency, out.P95Latency, out.P99Latency = p[0], p[1], p[2]
 	}
 	out.Imbalance = imbalance(busy)
 	return out, nil

@@ -109,8 +109,10 @@ func (s *Sim) kernelTime(k Kernel, dt model.DType) (time, occ float64) {
 
 // prefillKernels builds the per-layer kernel walk for prefilling m tokens
 // (already tile-padded). Weights bytes come from the architecture so the
-// full walk streams exactly one weight read plus activation traffic.
-func prefillKernels(a model.Arch, dt model.DType, mPad, mReal int) []Kernel {
+// full walk streams exactly one weight read plus activation traffic. The
+// walk is a fixed-size array so the per-prefill call stays heap-free on
+// the engine's admission path.
+func prefillKernels(a model.Arch, dt model.DType, mPad, mReal int) [8]Kernel {
 	bpp := dt.BytesPerParam()
 	h := float64(a.Hidden)
 	qW := a.Heads * a.HeadDim
@@ -119,7 +121,7 @@ func prefillKernels(a model.Arch, dt model.DType, mPad, mReal int) []Kernel {
 	act := 2.0 // fp16 activations
 	kvLayerBytes := float64(a.KVBytesPerToken()) / float64(a.Layers)
 
-	kernels := []Kernel{
+	kernels := [8]Kernel{
 		{
 			Name: "qkv_proj", Kind: GEMM, Repeat: a.Layers,
 			M: mPad, N: qW + 2*kvW, K: a.Hidden,
@@ -176,7 +178,9 @@ func (s *Sim) Prefill(a model.Arch, dt model.DType, n, batch int) Result {
 	mPad := s.Device.PadM(total)
 	res := Result{Phase: PhasePrefill, Tokens: total}
 	var occTime float64
-	for _, k := range prefillKernels(a, dt, mPad, total) {
+	kernels := prefillKernels(a, dt, mPad, total)
+	for i := range kernels {
+		k := kernels[i]
 		t, occ := s.kernelTime(k, dt)
 		reps := k.reps()
 		elapsed := t * float64(reps)

@@ -56,6 +56,11 @@ func ConfigForMemory(budgetBytes int64, blockSize int, bytesPerToken int64) Conf
 type sequence struct {
 	blocks []int // indices into the block pool
 	length int   // tokens stored
+	freed  bool  // set on Free so stale Handles fail instead of corrupting
+	// gen counts lifetimes of this (pooled, reusable) shell; a Handle
+	// carries the gen it was issued under, so handles from a previous
+	// lifetime are rejected even after the shell is recycled.
+	gen int
 }
 
 // Cache is a paged KV cache. It is not safe for concurrent use; the
@@ -65,6 +70,9 @@ type Cache struct {
 	refcount []int // per-block; 0 = free
 	free     []int // free-list (LIFO)
 	seqs     map[string]*sequence
+	// pool recycles freed sequence shells (and their block-table
+	// capacity) so steady-state admit/free churn is allocation-free.
+	pool []*sequence
 	// peakUsed tracks the high-water mark of allocated blocks.
 	peakUsed int
 }
@@ -130,51 +138,170 @@ func (c *Cache) Allocate(seqID string, tokens int) error {
 	if need > len(c.free) {
 		return ErrOutOfBlocks
 	}
-	s := &sequence{length: tokens}
+	s := c.newSequence(need)
+	s.length = tokens
 	for i := 0; i < need; i++ {
-		b, err := c.grab()
-		if err != nil {
-			// Cannot happen: capacity checked above. Roll back defensively.
-			for _, rb := range s.blocks {
-				c.release(rb)
-			}
-			return err
-		}
+		b, _ := c.grab() // cannot fail: capacity checked above
 		s.blocks = append(s.blocks, b)
 	}
 	c.seqs[seqID] = s
 	return nil
 }
 
+// newSequence returns an empty sequence shell with room for capBlocks,
+// recycled from the free pool when possible.
+func (c *Cache) newSequence(capBlocks int) *sequence {
+	if n := len(c.pool); n > 0 {
+		s := c.pool[n-1]
+		c.pool[n-1] = nil
+		c.pool = c.pool[:n-1]
+		s.freed = false
+		s.length = 0
+		if cap(s.blocks) < capBlocks {
+			s.blocks = make([]int, 0, capBlocks)
+		}
+		return s
+	}
+	return &sequence{blocks: make([]int, 0, capBlocks)}
+}
+
 // AppendToken extends a sequence by one token, allocating a fresh block at
 // block boundaries and copying a shared tail block (copy-on-write) before
-// writing into it.
+// writing into it. It is a thin wrapper over the bulk path; callers
+// appending many tokens should use AppendTokens (or a Handle) instead of
+// paying one map lookup per token.
 func (c *Cache) AppendToken(seqID string) error {
+	return c.AppendTokens(seqID, 1)
+}
+
+// AppendTokens extends a sequence by n tokens in one call: one map
+// lookup, one copy-on-write check on the shared tail, and O(new blocks)
+// grabs — the engine's decode loop advances whole chunks this way
+// instead of once per token. n <= 0 is a no-op.
+//
+// On ErrOutOfBlocks the sequence keeps the partial progress a token-wise
+// loop would have made (the tail and every grabbed block filled), so the
+// call remains exactly equivalent to n consecutive AppendToken calls,
+// error point included.
+func (c *Cache) AppendTokens(seqID string, n int) error {
 	s, ok := c.seqs[seqID]
 	if !ok {
 		return ErrUnknownSequence
 	}
-	// Block boundary: need a new block.
-	if s.length%c.cfg.BlockSize == 0 {
-		b, err := c.grab()
-		if err != nil {
-			return err
-		}
-		s.blocks = append(s.blocks, b)
-		s.length++
+	return c.appendTokens(s, n)
+}
+
+// appendTokens is the shared bulk core behind AppendToken(s) and
+// AppendTokensH.
+func (c *Cache) appendTokens(s *sequence, n int) error {
+	if n <= 0 {
 		return nil
 	}
-	// Writing into the tail block: copy first if shared.
-	tail := s.blocks[len(s.blocks)-1]
-	if c.refcount[tail] > 1 {
-		nb, err := c.grab()
-		if err != nil {
-			return err
+	// Writing into a partial tail block: copy it first if shared. Any
+	// block allocated past this point is exclusively owned, so one check
+	// covers the whole extension.
+	if s.length%c.cfg.BlockSize != 0 {
+		tail := s.blocks[len(s.blocks)-1]
+		if c.refcount[tail] > 1 {
+			nb, err := c.grab()
+			if err != nil {
+				return err
+			}
+			c.release(tail)
+			s.blocks[len(s.blocks)-1] = nb
 		}
-		c.release(tail)
-		s.blocks[len(s.blocks)-1] = nb
 	}
-	s.length++
+	need := c.blocksFor(s.length+n) - len(s.blocks)
+	if need > len(c.free) {
+		// Capacity exhausted mid-extension: mirror the token-wise loop's
+		// partial progress — fill the current tail, then grab blocks until
+		// the free list runs dry — and fail at the same point it would.
+		got := len(c.free)
+		fit := (len(s.blocks)+got)*c.cfg.BlockSize - s.length
+		for i := 0; i < got; i++ {
+			b, _ := c.grab()
+			s.blocks = append(s.blocks, b)
+		}
+		s.length += fit
+		return ErrOutOfBlocks
+	}
+	for i := 0; i < need; i++ {
+		b, _ := c.grab() // cannot fail: capacity checked above
+		s.blocks = append(s.blocks, b)
+	}
+	s.length += n
+	return nil
+}
+
+// Handle is a resolved reference to a live sequence: the engine looks a
+// sequence up once per lifetime and then appends and frees through the
+// handle without further map traffic. A Handle is invalidated by Free or
+// FreeH; using it afterwards returns ErrUnknownSequence. Handles are only
+// valid on the cache that issued them.
+type Handle struct {
+	c   *Cache
+	s   *sequence
+	id  string
+	gen int
+}
+
+// ID returns the sequence ID the handle resolves.
+func (h Handle) ID() string { return h.id }
+
+// Lookup resolves a sequence ID to a Handle for the map-free fast path.
+func (c *Cache) Lookup(seqID string) (Handle, error) {
+	s, ok := c.seqs[seqID]
+	if !ok {
+		return Handle{}, ErrUnknownSequence
+	}
+	return Handle{c: c, s: s, id: seqID, gen: s.gen}, nil
+}
+
+// valid reports whether h is a live handle issued by this cache for the
+// current lifetime of its sequence shell.
+func (c *Cache) valid(h Handle) bool {
+	return h.c == c && h.s != nil && !h.s.freed && h.s.gen == h.gen
+}
+
+// ReserveH grows the handle's block-table capacity to cover a final
+// length of `tokens`, so a sequence whose total (prompt + output) is
+// known at admission pays at most one table allocation for its whole
+// lifetime. Only table capacity is reserved — no cache blocks are taken.
+func (c *Cache) ReserveH(h Handle, tokens int) error {
+	if !c.valid(h) {
+		return ErrUnknownSequence
+	}
+	if need := c.blocksFor(tokens); cap(h.s.blocks) < need {
+		nb := make([]int, len(h.s.blocks), need)
+		copy(nb, h.s.blocks)
+		h.s.blocks = nb
+	}
+	return nil
+}
+
+// AppendTokensH is AppendTokens through a resolved Handle: zero map
+// lookups on the decode hot path.
+func (c *Cache) AppendTokensH(h Handle, n int) error {
+	if !c.valid(h) {
+		return ErrUnknownSequence
+	}
+	return c.appendTokens(h.s, n)
+}
+
+// LengthH returns the handle's token count.
+func (c *Cache) LengthH(h Handle) (int, error) {
+	if !c.valid(h) {
+		return 0, ErrUnknownSequence
+	}
+	return h.s.length, nil
+}
+
+// FreeH releases the handle's sequence and invalidates the handle.
+func (c *Cache) FreeH(h Handle) error {
+	if !c.valid(h) {
+		return ErrUnknownSequence
+	}
+	c.freeSeq(h.id, h.s)
 	return nil
 }
 
@@ -189,8 +316,9 @@ func (c *Cache) Fork(parentID, childID string) error {
 	if _, ok := c.seqs[childID]; ok {
 		return ErrSequenceExists
 	}
-	child := &sequence{length: p.length, blocks: make([]int, len(p.blocks))}
-	copy(child.blocks, p.blocks)
+	child := c.newSequence(len(p.blocks))
+	child.length = p.length
+	child.blocks = append(child.blocks, p.blocks...)
 	for _, b := range p.blocks {
 		c.refcount[b]++
 	}
@@ -204,11 +332,21 @@ func (c *Cache) Free(seqID string) error {
 	if !ok {
 		return ErrUnknownSequence
 	}
+	c.freeSeq(seqID, s)
+	return nil
+}
+
+// freeSeq releases the blocks, invalidates outstanding handles, and
+// recycles the shell.
+func (c *Cache) freeSeq(seqID string, s *sequence) {
 	for _, b := range s.blocks {
 		c.release(b)
 	}
+	s.freed = true
+	s.gen++
+	s.blocks = s.blocks[:0]
 	delete(c.seqs, seqID)
-	return nil
+	c.pool = append(c.pool, s)
 }
 
 // Length returns a sequence's token count.
@@ -231,6 +369,14 @@ type Stats struct {
 	TotalBytes   int64
 	SharedBlocks int // blocks with refcount > 1
 }
+
+// FreeBlocks returns the free-list length in O(1). Stats() reports the
+// same number but scans every refcount to count shared blocks, which is
+// too expensive for the engine's per-admission capacity check.
+func (c *Cache) FreeBlocks() int { return len(c.free) }
+
+// PeakUsed returns the allocation high-water mark in O(1).
+func (c *Cache) PeakUsed() int { return c.peakUsed }
 
 // Stats returns current occupancy.
 func (c *Cache) Stats() Stats {

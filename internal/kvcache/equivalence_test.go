@@ -1,0 +1,262 @@
+package kvcache
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// snapshot serializes a cache's complete observable state — per-sequence
+// lengths and block tables, refcounts, and the free list — so two caches
+// driven through different APIs can be compared exactly.
+func snapshot(c *Cache) string {
+	var b strings.Builder
+	ids := make([]string, 0, len(c.seqs))
+	for id := range c.seqs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s := c.seqs[id]
+		fmt.Fprintf(&b, "seq %s len=%d blocks=%v\n", id, s.length, s.blocks)
+	}
+	fmt.Fprintf(&b, "refcount=%v\nfree=%v\n", c.refcount, c.free)
+	return b.String()
+}
+
+// appendLoop emulates the engine's historical per-token decode loop:
+// n AppendToken calls, stopping at the first error.
+func appendLoop(c *Cache, id string, n int) error {
+	for t := 0; t < n; t++ {
+		if err := c.AppendToken(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestAppendTokensEquivalence drives three caches through one random
+// workload — allocate, fork, free, and variable-size appends — using the
+// per-token loop, the bulk AppendTokens call, and the Handle fast path
+// respectively. After every operation all three must agree on the error
+// returned and on the full cache state (lengths, block tables, refcounts,
+// free-list order), including the partial progress left behind when an
+// append runs out of blocks.
+func TestAppendTokensEquivalence(t *testing.T) {
+	for _, bs := range []int{1, 3, 16} {
+		for _, blocks := range []int{8, 64} {
+			t.Run(fmt.Sprintf("bs%d_blocks%d", bs, blocks), func(t *testing.T) {
+				for seed := uint64(0); seed < 8; seed++ {
+					testEquivalenceSeed(t, bs, blocks, seed)
+				}
+			})
+		}
+	}
+}
+
+func testEquivalenceSeed(t *testing.T, blockSize, numBlocks int, seed uint64) {
+	t.Helper()
+	cfg := Config{BlockSize: blockSize, NumBlocks: numBlocks, BytesPerToken: 64}
+	newCache := func() *Cache {
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	tokenwise, bulk, handled := newCache(), newCache(), newCache()
+	handles := map[string]Handle{}
+
+	r := rand.New(rand.NewPCG(seed, 41))
+	var live []string
+	next := 0
+	check := func(op string, errA, errB, errC error) {
+		t.Helper()
+		if errA != errB || errA != errC {
+			t.Fatalf("seed %d %s: error divergence: tokenwise=%v bulk=%v handle=%v", seed, op, errA, errB, errC)
+		}
+		a, b, c := snapshot(tokenwise), snapshot(bulk), snapshot(handled)
+		if a != b || a != c {
+			t.Fatalf("seed %d %s: state divergence\ntokenwise:\n%s\nbulk:\n%s\nhandle:\n%s", seed, op, a, b, c)
+		}
+		for name, c := range map[string]*Cache{"tokenwise": tokenwise, "bulk": bulk, "handle": handled} {
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d %s: %s invariants: %v", seed, op, name, err)
+			}
+		}
+	}
+
+	for op := 0; op < 250; op++ {
+		switch r.IntN(5) {
+		case 0: // allocate
+			id := fmt.Sprintf("s%d", next)
+			next++
+			tokens := r.IntN(3 * blockSize)
+			errA := tokenwise.Allocate(id, tokens)
+			errB := bulk.Allocate(id, tokens)
+			errC := handled.Allocate(id, tokens)
+			if errC == nil {
+				h, err := handled.Lookup(id)
+				if err != nil {
+					t.Fatalf("Lookup(%s) after Allocate: %v", id, err)
+				}
+				handles[id] = h
+				live = append(live, id)
+			}
+			check(fmt.Sprintf("allocate %s %d", id, tokens), errA, errB, errC)
+		case 1, 2: // append a variable-size chunk (the interesting op)
+			if len(live) == 0 {
+				continue
+			}
+			id := live[r.IntN(len(live))]
+			n := r.IntN(3*blockSize + 5)
+			errA := appendLoop(tokenwise, id, n)
+			errB := bulk.AppendTokens(id, n)
+			errC := handled.AppendTokensH(handles[id], n)
+			check(fmt.Sprintf("append %s %d", id, n), errA, errB, errC)
+		case 3: // fork
+			if len(live) == 0 {
+				continue
+			}
+			parent := live[r.IntN(len(live))]
+			id := fmt.Sprintf("s%d", next)
+			next++
+			errA := tokenwise.Fork(parent, id)
+			errB := bulk.Fork(parent, id)
+			errC := handled.Fork(parent, id)
+			if errC == nil {
+				h, err := handled.Lookup(id)
+				if err != nil {
+					t.Fatalf("Lookup(%s) after Fork: %v", id, err)
+				}
+				handles[id] = h
+				live = append(live, id)
+			}
+			check(fmt.Sprintf("fork %s->%s", parent, id), errA, errB, errC)
+		case 4: // free
+			if len(live) == 0 {
+				continue
+			}
+			i := r.IntN(len(live))
+			id := live[i]
+			live = append(live[:i], live[i+1:]...)
+			errA := tokenwise.Free(id)
+			errB := bulk.Free(id)
+			errC := handled.FreeH(handles[id])
+			delete(handles, id)
+			check(fmt.Sprintf("free %s", id), errA, errB, errC)
+		}
+	}
+}
+
+func TestAppendTokensZeroAndUnknown(t *testing.T) {
+	c := newTestCache(t, 8)
+	if err := c.AppendTokens("ghost", 4); err != ErrUnknownSequence {
+		t.Errorf("AppendTokens on ghost = %v, want ErrUnknownSequence", err)
+	}
+	if _, err := c.Lookup("ghost"); err != ErrUnknownSequence {
+		t.Errorf("Lookup on ghost = %v, want ErrUnknownSequence", err)
+	}
+	if err := c.Allocate("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AppendTokens("a", 0); err != nil {
+		t.Errorf("AppendTokens n=0 = %v, want nil", err)
+	}
+	if err := c.AppendTokens("a", -3); err != nil {
+		t.Errorf("AppendTokens n<0 = %v, want nil (no-op)", err)
+	}
+	if n, _ := c.Length("a"); n != 10 {
+		t.Errorf("length after no-op appends = %d, want 10", n)
+	}
+}
+
+// TestHandleLifecycle pins the staleness contract: a handle dies with its
+// sequence, whichever API freed it, and handles from another cache are
+// rejected.
+func TestHandleLifecycle(t *testing.T) {
+	c := newTestCache(t, 16)
+	if err := c.Allocate("a", 20); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Lookup("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ID() != "a" {
+		t.Errorf("handle ID = %q, want a", h.ID())
+	}
+	if err := c.AppendTokensH(h, 30); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.LengthH(h); err != nil || n != 50 {
+		t.Errorf("LengthH = %d/%v, want 50", n, err)
+	}
+	if n, _ := c.Length("a"); n != 50 {
+		t.Errorf("Length = %d, want 50", n)
+	}
+	if err := c.FreeH(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FreeH(h); err != ErrUnknownSequence {
+		t.Errorf("double FreeH = %v, want ErrUnknownSequence", err)
+	}
+	if err := c.AppendTokensH(h, 1); err != ErrUnknownSequence {
+		t.Errorf("append through stale handle = %v, want ErrUnknownSequence", err)
+	}
+	// Free through the map API must also invalidate handles.
+	if err := c.Allocate("b", 4); err != nil {
+		t.Fatal(err)
+	}
+	hb, err := c.Lookup("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Free("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AppendTokensH(hb, 1); err != ErrUnknownSequence {
+		t.Errorf("append after map Free = %v, want ErrUnknownSequence", err)
+	}
+	// Handles are cache-scoped.
+	other := newTestCache(t, 16)
+	if err := other.Allocate("a", 4); err != nil {
+		t.Fatal(err)
+	}
+	ha, err := other.Lookup("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AppendTokensH(ha, 1); err != ErrUnknownSequence {
+		t.Errorf("foreign handle = %v, want ErrUnknownSequence", err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAppendTokensPartialProgress pins the documented out-of-blocks
+// behavior: the sequence is left exactly where a token-wise loop would
+// have stopped.
+func TestAppendTokensPartialProgress(t *testing.T) {
+	c := newTestCache(t, 4)                     // 4 blocks of 16 tokens
+	if err := c.Allocate("a", 24); err != nil { // 2 blocks, 8 free slots in tail
+		t.Fatal(err)
+	}
+	err := c.AppendTokens("a", 100) // wants 8 more blocks; only 2 exist
+	if err != ErrOutOfBlocks {
+		t.Fatalf("got %v, want ErrOutOfBlocks", err)
+	}
+	// Tail filled (8) plus two whole grabbed blocks (32) = 64 tokens.
+	if n, _ := c.Length("a"); n != 64 {
+		t.Errorf("partial length = %d, want 64", n)
+	}
+	if st := c.Stats(); st.UsedBlocks != 4 || st.FreeBlocks != 0 {
+		t.Errorf("after partial append: %+v", st)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

@@ -68,13 +68,53 @@ func Sum(xs []float64) float64 {
 
 // Percentile returns the p-th percentile (0..100) using linear
 // interpolation between closest ranks. The input need not be sorted.
+//
+// Guards: non-finite samples (NaN, ±Inf) are ignored — they would
+// otherwise poison the sort and the interpolation; an input with no
+// finite samples returns 0 (matching the empty-input convention); p is
+// clamped to [0, 100]; a NaN p returns NaN. With at least one finite
+// sample and a finite p the result is always finite and lies within
+// [min, max] of the finite samples (the fuzz target in fuzz_test.go
+// holds this contract).
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	sorted := sortedFinite(xs)
+	return percentileSorted(sorted, p)
+}
+
+// Percentiles returns the percentile for each p over a single sort of the
+// input — the multi-quantile call sites (P50/P95/P99 reporting) pay one
+// O(n log n) pass instead of one per quantile. Each element follows the
+// same guarded contract as Percentile.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	sorted := sortedFinite(xs)
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+// sortedFinite returns a sorted copy of the finite samples in xs.
+func sortedFinite(xs []float64) []float64 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			sorted = append(sorted, x)
+		}
+	}
+	sort.Float64s(sorted)
+	return sorted
+}
+
+// percentileSorted interpolates the p-th percentile over pre-sorted
+// finite samples.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
 	if p <= 0 {
 		return sorted[0]
 	}

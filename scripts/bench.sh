@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# bench.sh — run the perf-trajectory benchmarks and maintain BENCH_serve.json.
+#
+#   scripts/bench.sh            # regression gate: fail if allocs/op regressed
+#   scripts/bench.sh update     # re-measure and rewrite the "current" section
+#
+# Environment:
+#   BENCHTIME   go test -benchtime value (default 2s; CI smoke uses 1x)
+#
+# The tracked targets are the serving hot loop (engine.Serve / engine.Run
+# over a long-generation open-loop stream) and the KV-cache append paths
+# (bulk handle-based vs per-token). Only allocs/op is gated — it is
+# deterministic across machines — while ns/op is recorded for the
+# before/after table in the README. The pre-optimization reference in
+# BENCH_serve.json's "pre_pr" section is preserved across updates.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+MODE="${1:-check}"
+
+run_benches() {
+  go test -run '^$' -bench 'BenchmarkServeHotLoop$|BenchmarkRunHotLoop$' \
+    -benchmem -benchtime "$BENCHTIME" -count 1 ./internal/engine
+  go test -run '^$' -bench 'BenchmarkKVAppend$|BenchmarkKVAppendToken$' \
+    -benchmem -benchtime "$BENCHTIME" -count 1 ./internal/kvcache
+}
+
+case "$MODE" in
+  update)
+    run_benches | tee /dev/stderr | go run ./cmd/benchcheck -baseline BENCH_serve.json -update
+    ;;
+  check)
+    run_benches | tee /dev/stderr | go run ./cmd/benchcheck -baseline BENCH_serve.json
+    ;;
+  *)
+    echo "usage: scripts/bench.sh [check|update]" >&2
+    exit 2
+    ;;
+esac
