@@ -7,11 +7,12 @@
 //	edgereasoning run <id> [flags]     # run one experiment
 //	edgereasoning all [flags]          # run the full suite
 //	edgereasoning fleet [flags]        # heterogeneous-fleet serving sweep
+//	edgereasoning sessions [flags]     # multi-turn agentic serving study
 //	edgereasoning sweep <id> [flags]   # fan one experiment across seeds
 //
 // Flags:
 //
-//	-seed N       random seed (default 7)
+//	-seed N       random seed (default 7; mutually exclusive with -seeds)
 //	-quick        subsample the large banks (fast smoke runs)
 //	-csv DIR      also write each table as DIR/<table-id>.csv
 //	-parallel N   worker count (default GOMAXPROCS)
@@ -19,11 +20,14 @@
 //	-metrics      print per-driver wall time and table counts to stderr
 //	-cpuprofile F write a CPU profile of the run to F
 //	-memprofile F write a heap profile at exit to F
-//	-seeds LIST   comma-separated seeds for sweep (default 1..8)
+//	-seeds LIST   comma-separated seeds (sweep only; default 1..8)
 //	-replicas N   fleet size (fleet only; default 4)
 //	-devices L    comma-separated device cycle (fleet only)
-//	-policy P     routing policy or "all" (fleet only)
+//	-policy P     routing policy or "all" (fleet and sessions)
 //	-qps Q        offered load in requests/s (fleet only)
+//	-sessions N   concurrent sessions (sessions only; default 10)
+//	-turns N      agent-loop turns per session (sessions only; default 5)
+//	-branch N     parallel think samples at branch turns (sessions only; default 2)
 //
 // Experiments run on a worker pool but the report is emitted in registry
 // order, so output is byte-identical at any parallelism.
@@ -91,7 +95,7 @@ func run(args []string) error {
 		if len(rest) == 0 {
 			return fmt.Errorf("run: missing experiment id")
 		}
-		cfg, err := parseFlags(rest[1:], false)
+		cfg, err := parseFlags(rest[1:], false, false)
 		if err != nil {
 			return err
 		}
@@ -100,7 +104,7 @@ func run(args []string) error {
 		}
 		return execute([]string{rest[0]}, cfg)
 	case "all":
-		cfg, err := parseFlags(rest, false)
+		cfg, err := parseFlags(rest, false, false)
 		if err != nil {
 			return err
 		}
@@ -109,7 +113,7 @@ func run(args []string) error {
 		}
 		return execute(experiments.IDs(), cfg)
 	case "fleet":
-		cfg, err := parseFlags(rest, true)
+		cfg, err := parseFlags(rest, true, false)
 		if err != nil {
 			return err
 		}
@@ -117,11 +121,20 @@ func run(args []string) error {
 			return fmt.Errorf("fleet: -seeds only applies to sweep (use -seed)")
 		}
 		return execute([]string{"fleet"}, cfg)
+	case "sessions":
+		cfg, err := parseFlags(rest, false, true)
+		if err != nil {
+			return err
+		}
+		if cfg.seedsSet {
+			return fmt.Errorf("sessions: -seeds only applies to sweep (use -seed)")
+		}
+		return execute([]string{"sessions"}, cfg)
 	case "sweep":
 		if len(rest) == 0 {
 			return fmt.Errorf("sweep: missing experiment id")
 		}
-		cfg, err := parseFlags(rest[1:], false)
+		cfg, err := parseFlags(rest[1:], false, false)
 		if err != nil {
 			return err
 		}
@@ -138,9 +151,9 @@ func run(args []string) error {
 	}
 }
 
-// parseFlags parses the shared flag set; withFleet additionally
-// registers the fleet subcommand's routing knobs.
-func parseFlags(args []string, withFleet bool) (config, error) {
+// parseFlags parses the shared flag set; withFleet and withSessions
+// additionally register the fleet / sessions subcommands' knobs.
+func parseFlags(args []string, withFleet, withSessions bool) (config, error) {
 	fs := flag.NewFlagSet("edgereasoning", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 7, "random seed")
 	quick := fs.Bool("quick", false, "subsample large banks")
@@ -159,6 +172,14 @@ func parseFlags(args []string, withFleet bool) (config, error) {
 		devices = fs.String("devices", "", "comma-separated device cycle (default orin,orin-50w,orin-30w)")
 		policy = fs.String("policy", "all", "routing policy (round-robin, least-queue, latency-weighted, deadline-aware, all)")
 		qps = fs.Float64("qps", 0, "offered load in requests/s (0 = driver default)")
+	}
+	var sessionCount, sessionTurns, sessionBranch *int
+	var sessionPolicy *string
+	if withSessions {
+		sessionCount = fs.Int("sessions", 0, "concurrent sessions (0 = driver default of 10)")
+		sessionTurns = fs.Int("turns", 0, "agent-loop turns per session (0 = driver default of 5)")
+		sessionBranch = fs.Int("branch", 0, "parallel think samples at branch turns (0 = driver default of 2)")
+		sessionPolicy = fs.String("policy", "all", "affinity-table routing policy (round-robin, least-queue, session-affinity, all)")
 	}
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
@@ -190,6 +211,20 @@ func parseFlags(args []string, withFleet bool) (config, error) {
 		cfg.opts.FleetDevices = *devices
 		cfg.opts.FleetPolicy = *policy
 		cfg.opts.FleetQPS = *qps
+	}
+	if withSessions {
+		if *sessionPolicy != "" && *sessionPolicy != "all" {
+			if _, err := fleet.ParsePolicy(*sessionPolicy); err != nil {
+				return config{}, err
+			}
+		}
+		if *sessionCount < 0 || *sessionTurns < 0 || *sessionBranch < 0 {
+			return config{}, fmt.Errorf("sessions: -sessions, -turns, and -branch must be non-negative")
+		}
+		cfg.opts.SessionCount = *sessionCount
+		cfg.opts.SessionTurns = *sessionTurns
+		cfg.opts.SessionBranch = *sessionBranch
+		cfg.opts.SessionPolicy = *sessionPolicy
 	}
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -470,10 +505,12 @@ commands:
   run <id> [flags]     run one experiment (e.g. "run table2")
   all [flags]          run the full suite
   fleet [flags]        route open-loop traffic across a heterogeneous fleet
+  sessions [flags]     multi-turn agentic serving with prefix KV caching
   sweep <id> [flags]   fan one experiment across seeds (variance estimation)
 
 flags:
-  -seed N       random seed (default 7)
+  -seed N       random seed (default 7; run/all/fleet/sessions only — sweep
+                takes -seeds, and passing the wrong one is an error)
   -quick        subsample large banks
   -csv DIR      also write CSV files
   -parallel N   worker count (default GOMAXPROCS)
@@ -481,9 +518,13 @@ flags:
   -metrics      print per-driver metrics to stderr
   -cpuprofile F write a CPU profile of the run to F
   -memprofile F write a heap profile at exit to F
-  -seeds LIST   comma-separated seeds for sweep (default 1..8)
+  -seeds LIST   comma-separated seeds (sweep only; default 1..8)
   -replicas N   fleet size (fleet only; default 4)
   -devices L    device cycle, e.g. orin,orin-50w (fleet only)
-  -policy P     round-robin | least-queue | latency-weighted | deadline-aware | all (fleet only)
-  -qps Q        offered load in requests/s (fleet only; default 2.0)`)
+  -policy P     fleet: round-robin | least-queue | latency-weighted | deadline-aware | all
+                sessions: round-robin | least-queue | session-affinity | all
+  -qps Q        offered load in requests/s (fleet only; default 2.0)
+  -sessions N   concurrent sessions (sessions only; default 10)
+  -turns N      agent-loop turns per session (sessions only; default 5)
+  -branch N     parallel think samples at branch turns (sessions only; default 2)`)
 }

@@ -102,6 +102,37 @@ func TestFleetSubcommandRejectsBadFlags(t *testing.T) {
 	}
 }
 
+func TestSessionsSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"sessions", "-quick", "-sessions", "3", "-turns", "2",
+		"-branch", "1", "-policy", "sa", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sessions.csv", "sessions-affinity.csv", "sessions-verify.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing %s: %v", want, err)
+		}
+	}
+}
+
+func TestSessionsSubcommandRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"sessions", "-policy", "chaos"}); err == nil {
+		t.Error("unknown policy must fail before engines spin up")
+	}
+	if err := run([]string{"sessions", "-turns", "-3"}); err == nil {
+		t.Error("negative turn count must be rejected")
+	}
+	if err := run([]string{"sessions", "-seeds", "1,2"}); err == nil {
+		t.Error("-seeds must be rejected on sessions")
+	}
+	if err := run([]string{"run", "qps", "-turns", "4"}); err == nil {
+		t.Error("sessions flags must not leak into run")
+	}
+	if err := run([]string{"fleet", "-turns", "4"}); err == nil {
+		t.Error("sessions flags must not leak into fleet")
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"run", "fig999"}); err == nil {
 		t.Error("unknown experiment must fail")

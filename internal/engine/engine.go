@@ -53,6 +53,12 @@ type Config struct {
 	MemReserve float64
 	// Framework is the host-side overhead profile (default vLLM).
 	Framework Overhead
+	// PrefixCache attaches a cross-request prefix index to the KV cache:
+	// completed sequences retain their blocks content-addressed, and a
+	// later request whose PromptSyms share a prefix only prefills the
+	// unmatched suffix (vLLM automatic-prefix-caching style). Off by
+	// default; requests without PromptSyms are unaffected either way.
+	PrefixCache bool
 }
 
 // Request is one generation job. OutputTokens is decided ahead of
@@ -74,6 +80,9 @@ type Metrics struct {
 	DecodeTime    float64
 	PrefillEnergy float64 // joules
 	DecodeEnergy  float64
+	// CachedPromptTokens counts prompt tokens served from the prefix
+	// cache instead of being prefilled (0 without a prefix cache).
+	CachedPromptTokens int
 }
 
 // TotalTime is the request's service latency (prefill + decode).
@@ -143,7 +152,10 @@ type Engine struct {
 	sim   *gpusim.Sim
 	meter *power.Meter
 	cache *kvcache.Cache
-	clock float64
+	// prefix is the cross-request prefix index (nil unless
+	// Config.PrefixCache is set).
+	prefix *kvcache.PrefixIndex
+	clock  float64
 }
 
 // New builds an engine, verifying the model fits the device and sizing
@@ -178,12 +190,16 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:   cfg,
 		sim:   gpusim.New(cfg.Device),
 		meter: power.NewMeter(cfg.Device),
 		cache: cache,
-	}, nil
+	}
+	if cfg.PrefixCache {
+		e.prefix = kvcache.NewPrefixIndex(cache)
+	}
+	return e, nil
 }
 
 // Spec returns the engine's model.
@@ -208,6 +224,9 @@ func (e *Engine) Reset() error {
 		return err
 	}
 	e.cache = cache
+	if e.cfg.PrefixCache {
+		e.prefix = kvcache.NewPrefixIndex(cache)
+	}
 	e.clock = 0
 	return nil
 }
@@ -256,6 +275,11 @@ type activeSeq struct {
 	metrics   Metrics
 	arrival   float64
 	deadline  float64
+	// promptSyms/outputSyms carry the request's token identities so the
+	// finished sequence can be retained in the prefix index (nil when the
+	// engine has no prefix cache or the request carried none).
+	promptSyms []uint64
+	outputSyms []uint64
 }
 
 // reap records every completed sequence (remaining <= 0) through finish —
@@ -568,6 +592,15 @@ func (e *Engine) RunParallel(promptTokens int, outputs []int) (BatchMetrics, err
 
 // CacheStats exposes KV occupancy for tests and examples.
 func (e *Engine) CacheStats() kvcache.Stats { return e.cache.Stats() }
+
+// PrefixMetrics exposes the engine-lifetime prefix-cache counters (zero
+// value when the engine was built without Config.PrefixCache).
+func (e *Engine) PrefixMetrics() kvcache.PrefixMetrics {
+	if e.prefix == nil {
+		return kvcache.PrefixMetrics{}
+	}
+	return e.prefix.Metrics()
+}
 
 // SimDecodeProbe returns the raw simulator result of a representative
 // decode run at the given geometry, so callers can inspect utilization

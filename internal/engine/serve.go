@@ -9,10 +9,25 @@ import (
 
 // TimedRequest is a request with an arrival time and an optional absolute
 // deadline, for open-loop serving studies (QPS sweeps, SLA audits).
+// Session-grade workloads additionally carry token identities and a
+// session tag; plain open-loop streams leave them zero.
 type TimedRequest struct {
 	Request
 	Arrival  float64 // seconds on the simulated clock
 	Deadline float64 // absolute seconds; 0 means no deadline
+	// SessionID groups the turns of one multi-turn conversation; routing
+	// policies with session affinity key on it ("" means sessionless).
+	SessionID string
+	// PromptSyms are per-token content identities for the prompt (the
+	// simulator's stand-in for token IDs). When the engine has a prefix
+	// cache and len(PromptSyms) >= PromptTokens, admission matches the
+	// longest cached prefix and prefills only the unmatched suffix.
+	PromptSyms []uint64
+	// OutputSyms identify the generated tokens (the workload generator
+	// decides output lengths ahead of execution, so it knows them). They
+	// let a finished sequence's full prompt+output history be retained
+	// for the session's next turn.
+	OutputSyms []uint64
 }
 
 // SchedPolicy selects the ready-queue discipline.
@@ -33,8 +48,8 @@ func (p SchedPolicy) String() string {
 	return "FCFS"
 }
 
-// ServeMetrics extends BatchMetrics with latency percentiles and deadline
-// accounting over an open-loop run.
+// ServeMetrics extends BatchMetrics with latency percentiles, deadline
+// accounting, and prefix-cache accounting over an open-loop run.
 type ServeMetrics struct {
 	BatchMetrics
 	P50Latency     float64
@@ -45,6 +60,26 @@ type ServeMetrics struct {
 	DeadlinesTotal int
 	// Latencies holds per-request (finish − arrival), in completion order.
 	Latencies []float64
+	// PrefixLookups counts admissions that consulted the prefix cache;
+	// PrefixHits those that matched at least one block;
+	// PrefixLookupTokens sums the prompt tokens of consulted admissions.
+	// All stay zero without a prefix cache or without PromptSyms on the
+	// requests.
+	PrefixLookups      int
+	PrefixHits         int
+	PrefixLookupTokens int
+	// SavedPrefillTokens is the prefill work the prefix cache avoided.
+	SavedPrefillTokens int
+}
+
+// PrefixHitRate is the token-weighted cache hit rate — saved prefill
+// tokens over prompt tokens that consulted the cache (the convention
+// vLLM and SGLang report) — or 0 when the cache was never consulted.
+func (s ServeMetrics) PrefixHitRate() float64 {
+	if s.PrefixLookupTokens == 0 {
+		return 0
+	}
+	return float64(s.SavedPrefillTokens) / float64(s.PrefixLookupTokens)
 }
 
 // HitRate returns the fraction of deadline-bearing requests that met
@@ -111,7 +146,17 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 		}
 	}
 	finish := func(s *activeSeq) error {
-		if err := e.cache.FreeH(s.handle); err != nil {
+		if e.prefix != nil && len(s.promptSyms) >= s.req.PromptTokens {
+			// Retain the finished history (prompt + known output identities)
+			// for the session's next turn instead of dropping the blocks.
+			outSyms := s.outputSyms
+			if len(outSyms) > s.req.OutputTokens {
+				outSyms = outSyms[:s.req.OutputTokens]
+			}
+			if err := e.prefix.Release(s.handle, s.promptSyms[:s.req.PromptTokens], outSyms); err != nil {
+				return err
+			}
+		} else if err := e.cache.FreeH(s.handle); err != nil {
 			return err
 		}
 		lat := e.clock - s.arrival
@@ -146,20 +191,61 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 				return out, fmt.Errorf("engine: request %q has no prompt", tr.ID)
 			}
 			worstCase := blocksFor(tr.PromptTokens + tr.OutputTokens)
-			if worstCase+futureGrowth > e.cache.FreeBlocks() {
+			// With a prefix cache, retained blocks are reclaimable
+			// capacity. Probe first — touching the matched chain makes it
+			// MRU, so eviction spares it — then evict cold prefixes until
+			// the unmatched demand fits. Under extreme pressure eviction
+			// can still trim the probed chain itself (growing the demand),
+			// so re-probe and repeat until the demand fits or nothing is
+			// left to evict; the final probe is exactly what Acquire finds.
+			var syms []uint64
+			probedBlocks := 0
+			if e.prefix != nil {
+				if len(tr.PromptSyms) >= tr.PromptTokens {
+					syms = tr.PromptSyms[:tr.PromptTokens]
+					probedBlocks = e.prefix.Probe(syms)
+				}
+				for worstCase-probedBlocks+futureGrowth > e.cache.FreeBlocks() {
+					before := e.prefix.Metrics().Evictions
+					e.prefix.EnsureFree(worstCase - probedBlocks + futureGrowth)
+					if e.prefix.Metrics().Evictions == before {
+						break
+					}
+					if syms != nil {
+						probedBlocks = e.prefix.Probe(syms)
+					}
+				}
+			}
+			if worstCase-probedBlocks+futureGrowth > e.cache.FreeBlocks() {
 				if len(active) > 0 {
 					break
 				}
 				return out, fmt.Errorf("engine: request %q exceeds KV capacity even alone", tr.ID)
 			}
 			ready = ready[1:]
-			if err := e.cache.Allocate(tr.ID, tr.PromptTokens); err != nil {
+			matched := 0
+			if syms != nil {
+				m, err := e.prefix.Acquire(tr.ID, syms)
+				if err != nil {
+					return out, err
+				}
+				matched = m
+				out.PrefixLookups++
+				out.PrefixLookupTokens += tr.PromptTokens
+				if matched > 0 {
+					out.PrefixHits++
+					out.SavedPrefillTokens += matched
+				}
+			} else if err := e.cache.Allocate(tr.ID, tr.PromptTokens); err != nil {
 				return out, err
 			}
 			s := &arena[admitted]
 			admitted++
 			*s = activeSeq{req: tr.Request, ctx: tr.PromptTokens, remaining: tr.OutputTokens,
 				arrival: tr.Arrival, deadline: tr.Deadline}
+			if e.prefix != nil {
+				s.promptSyms, s.outputSyms = tr.PromptSyms, tr.OutputSyms
+			}
 			h, err := e.cache.Lookup(tr.ID)
 			if err != nil {
 				return out, err
@@ -168,9 +254,18 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 			if err := e.cache.ReserveH(h, tr.PromptTokens+tr.OutputTokens); err != nil {
 				return out, err
 			}
+			if syms != nil {
+				// Acquire seeded only the matched blocks; append the
+				// suffix the prefill below computes (the whole prompt on a
+				// cold start).
+				if err := e.cache.AppendTokensH(h, tr.PromptTokens-matched); err != nil {
+					return out, err
+				}
+			}
 			futureGrowth += worstCase - blocksFor(tr.PromptTokens)
-			s.metrics = Metrics{ID: tr.ID, PromptTokens: tr.PromptTokens, OutputTokens: tr.OutputTokens}
-			res, err := e.prefill(tr.PromptTokens)
+			s.metrics = Metrics{ID: tr.ID, PromptTokens: tr.PromptTokens,
+				OutputTokens: tr.OutputTokens, CachedPromptTokens: matched}
+			res, err := e.prefill(tr.PromptTokens - matched)
 			if err != nil {
 				return out, err
 			}

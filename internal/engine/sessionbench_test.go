@@ -1,0 +1,55 @@
+// Session-serving benchmarks live in the external test package: they
+// drive engine.Serve with internal/session streams, and session imports
+// engine, so an in-package test file would be an import cycle.
+package engine_test
+
+import (
+	"testing"
+
+	"edgereasoning/internal/engine"
+	"edgereasoning/internal/hw"
+	"edgereasoning/internal/model"
+	"edgereasoning/internal/session"
+)
+
+// BenchmarkSessionServe is the session-grade counterpart of
+// BenchmarkServeHotLoop, tracked in BENCH_serve.json: one open-loop run
+// over a multi-turn agentic stream, warm (prefix cache on, turns reuse
+// their history) versus cold (every turn re-prefills from scratch). CI
+// gates allocs/op for both via scripts/bench.sh + cmd/benchcheck.
+func BenchmarkSessionServe(b *testing.B) {
+	reqs, err := session.Generate(session.AgentLoop(8, 4, 2), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := model.MustLookup(model.DSR1Qwen1_5B)
+	for _, mode := range []struct {
+		name   string
+		prefix bool
+	}{{"warm", true}, {"cold", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e, err := engine.New(engine.Config{
+					Spec: spec, Device: hw.JetsonAGXOrin64GB(), PrefixCache: mode.prefix,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				sm, err := e.Serve(reqs, 8, engine.FCFS)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sm.Requests) != len(reqs) {
+					b.Fatalf("served %d of %d", len(sm.Requests), len(reqs))
+				}
+				if mode.prefix && sm.SavedPrefillTokens == 0 {
+					b.Fatal("warm run saved nothing")
+				}
+			}
+		})
+	}
+}

@@ -12,12 +12,14 @@ var update = flag.Bool("update", false, "rewrite golden files")
 
 // TestGoldenReports locks byte-exact renderings of representative
 // drivers at the default seed: the scheduler comparison (guarding the
-// deterministic-report fix) and the fleet sweep (guarding the tentpole's
-// verify table, including its pass marks). Regenerate intentionally with
+// deterministic-report fix), the fleet sweep (guarding its verify table,
+// including its pass marks), and the session study (guarding the
+// prefix-cache wins — warm TTFT, saved prefill, affinity hit rate — as
+// rendered pass marks). Regenerate intentionally with
 //
 //	go test ./internal/experiments -run TestGoldenReports -update
 func TestGoldenReports(t *testing.T) {
-	for _, id := range []string{"sched", "fleet"} {
+	for _, id := range []string{"sched", "fleet", "sessions"} {
 		t.Run(id, func(t *testing.T) {
 			tables, err := Run(id, Options{Seed: 7, Quick: true})
 			if err != nil {

@@ -28,6 +28,14 @@ type Options struct {
 	FleetPolicy   string  // routing policy, or ""/"all" for every policy
 	FleetQPS      float64 // offered load (default 2.0)
 	FleetDevices  string  // comma-separated device cycle (default heterogeneous Orin mix)
+
+	// Session* parameterize the "sessions" driver (the CLI's sessions
+	// subcommand threads them through); zero values select the driver's
+	// defaults and other drivers ignore them.
+	SessionCount  int    // concurrent sessions (default 10; quick 6)
+	SessionTurns  int    // agent-loop turns per session (default 5; quick 3)
+	SessionBranch int    // parallel think samples at branch turns (default 2)
+	SessionPolicy string // affinity-table policy, or ""/"all" for the comparison set
 }
 
 // DefaultOptions is the standard full-fidelity configuration.
@@ -190,7 +198,7 @@ func IDs() []string {
 		// Extensions beyond the paper's measured artifacts (§VI future
 		// work and design-choice ablations).
 		"saturation", "batchsweep", "powermodes", "specdec", "offload",
-		"fleet",
+		"fleet", "sessions",
 	}
 	out := make([]string, 0, len(registry))
 	for _, id := range order {

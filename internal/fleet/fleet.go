@@ -64,6 +64,10 @@ func (rc ReplicaConfig) withDefaults(i int) ReplicaConfig {
 type Config struct {
 	Replicas []ReplicaConfig
 	Policy   Policy
+	// PrefixCache builds every replica engine with a cross-request prefix
+	// KV cache, so session-tagged streams reuse their history on whichever
+	// replica holds it (see Policy SessionAffinity).
+	PrefixCache bool
 }
 
 // ReplicaMetrics reports one replica's share of the run.
@@ -103,6 +107,12 @@ type Metrics struct {
 	// Imbalance is the coefficient of variation of per-replica BusyTime:
 	// 0 is a perfectly even spread, higher means hot spots.
 	Imbalance float64
+	// Prefix-cache accounting summed over replicas (zero without
+	// Config.PrefixCache or without PromptSyms on the stream).
+	PrefixLookups      int
+	PrefixHits         int
+	PrefixLookupTokens int
+	SavedPrefillTokens int
 }
 
 // HitRate returns the fraction of deadline-bearing requests that met
@@ -112,6 +122,16 @@ func (m Metrics) HitRate() float64 {
 		return 1
 	}
 	return float64(m.DeadlinesMet) / float64(m.DeadlinesTotal)
+}
+
+// PrefixHitRate is the fleet-wide token-weighted cache hit rate — saved
+// prefill tokens over prompt tokens that consulted a replica's cache (0
+// when never consulted).
+func (m Metrics) PrefixHitRate() float64 {
+	if m.PrefixLookupTokens == 0 {
+		return 0
+	}
+	return float64(m.SavedPrefillTokens) / float64(m.PrefixLookupTokens)
 }
 
 // replica is the router-side state for one engine.
@@ -188,7 +208,7 @@ func Serve(cfg Config, reqs []engine.TimedRequest) (Metrics, error) {
 	replicas := make([]*replica, len(cfg.Replicas))
 	for i, rc := range cfg.Replicas {
 		rc = rc.withDefaults(i)
-		eng, err := engine.New(engine.Config{Spec: rc.Spec, Device: rc.Device})
+		eng, err := engine.New(engine.Config{Spec: rc.Spec, Device: rc.Device, PrefixCache: cfg.PrefixCache})
 		if err != nil {
 			return Metrics{}, fmt.Errorf("fleet: replica %s: %w", rc.Name, err)
 		}
@@ -301,6 +321,10 @@ func Serve(cfg Config, reqs []engine.TimedRequest) (Metrics, error) {
 		out.DeadlinesMet += sm.DeadlinesMet
 		out.DeadlinesTotal += sm.DeadlinesTotal
 		out.TotalEnergy += sm.TotalEnergy
+		out.PrefixLookups += sm.PrefixLookups
+		out.PrefixHits += sm.PrefixHits
+		out.PrefixLookupTokens += sm.PrefixLookupTokens
+		out.SavedPrefillTokens += sm.SavedPrefillTokens
 		if r.eng.Clock() > out.WallTime {
 			out.WallTime = r.eng.Clock()
 		}
@@ -339,6 +363,12 @@ type router struct {
 	policy       Policy
 	rrNext       int
 	lastDispatch float64
+	// sticky maps a session ID to the replica index its turns are pinned
+	// to (SessionAffinity only; re-pinned on fallback), and pinned counts
+	// sessions per replica so new sessions spread instead of piling onto
+	// the lowest index while queues are momentarily empty.
+	sticky map[string]int
+	pinned []int
 }
 
 // place finds the replica and admission time for tr: at time t if a
@@ -386,12 +416,42 @@ func (ro *router) place(tr engine.TimedRequest, t float64) (*replica, float64, b
 func (ro *router) choose(candidates []int, tr engine.TimedRequest, t float64) int {
 	switch ro.policy {
 	case LeastQueue:
+		return leastQueued(ro.replicas, candidates)
+	case SessionAffinity:
+		// A session's turns chase their prefix KV: stay on the pinned
+		// replica while it can take the request. A new (or displaced)
+		// session pins to the replica carrying the fewest sessions —
+		// least-connections, so concurrent sessions spread even while
+		// queues are momentarily empty — with queue depth breaking ties.
+		// When the pinned replica is saturated, cold, or failed, the turn
+		// falls back the same way and re-pins; the history is rebuilt on
+		// the new replica at that turn's cold prefill.
+		if tr.SessionID != "" {
+			if p, ok := ro.sticky[tr.SessionID]; ok {
+				for _, c := range candidates {
+					if c == p {
+						return p
+					}
+				}
+				ro.pinned[p]--
+			}
+		}
+		if tr.SessionID == "" {
+			return leastQueued(ro.replicas, candidates)
+		}
+		if ro.sticky == nil {
+			ro.sticky = make(map[string]int)
+			ro.pinned = make([]int, len(ro.replicas))
+		}
 		best := candidates[0]
 		for _, i := range candidates[1:] {
-			if len(ro.replicas[i].finishes) < len(ro.replicas[best].finishes) {
+			if ro.pinned[i] < ro.pinned[best] ||
+				(ro.pinned[i] == ro.pinned[best] && len(ro.replicas[i].finishes) < len(ro.replicas[best].finishes)) {
 				best = i
 			}
 		}
+		ro.sticky[tr.SessionID] = best
+		ro.pinned[best]++
 		return best
 	case LatencyWeighted:
 		// Smooth weighted round-robin (nginx-style): deterministic and
@@ -435,4 +495,16 @@ func (ro *router) choose(candidates []int, tr engine.TimedRequest, t float64) in
 		}
 		return candidates[0] // unreachable: candidates is non-empty
 	}
+}
+
+// leastQueued picks the candidate with the fewest outstanding requests,
+// breaking ties by index.
+func leastQueued(replicas []*replica, candidates []int) int {
+	best := candidates[0]
+	for _, i := range candidates[1:] {
+		if len(replicas[i].finishes) < len(replicas[best].finishes) {
+			best = i
+		}
+	}
+	return best
 }

@@ -27,9 +27,19 @@ const (
 	// completion for the request — the one most likely to meet its EDF
 	// deadline — and schedules each replica's local queue EDF.
 	DeadlineAware
+	// SessionAffinity pins each session's turns to one replica — the one
+	// holding the session's prefix KV — falling back least-queue (and
+	// re-pinning) when the pinned replica is saturated, cold, or failed.
+	// Sessionless requests route least-queue. Meaningful with
+	// Config.PrefixCache and session-tagged streams; on a sessionless
+	// stream it degrades to least-queue.
+	SessionAffinity
 )
 
-// Policies lists all routing policies in stable order.
+// Policies lists the session-agnostic routing policies in stable order
+// (the fleet driver's sweep). SessionAffinity is exercised separately by
+// the sessions experiment, which provides the session-tagged streams it
+// needs to differ from least-queue.
 func Policies() []Policy {
 	return []Policy{RoundRobin, LeastQueue, LatencyWeighted, DeadlineAware}
 }
@@ -45,6 +55,8 @@ func (p Policy) String() string {
 		return "latency-weighted"
 	case DeadlineAware:
 		return "deadline-aware"
+	case SessionAffinity:
+		return "session-affinity"
 	default:
 		return fmt.Sprintf("policy(%d)", int(p))
 	}
@@ -60,7 +72,7 @@ func (p Policy) LocalDiscipline() engine.SchedPolicy {
 }
 
 // ParsePolicy resolves a CLI spelling to a Policy. Accepted names are the
-// String() forms plus the shorthands rr, lq, latency, and deadline.
+// String() forms plus the shorthands rr, lq, latency, deadline, and sa.
 func ParsePolicy(s string) (Policy, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "round-robin", "roundrobin", "rr":
@@ -71,6 +83,8 @@ func ParsePolicy(s string) (Policy, error) {
 		return LatencyWeighted, nil
 	case "deadline-aware", "deadline", "da":
 		return DeadlineAware, nil
+	case "session-affinity", "session", "sa":
+		return SessionAffinity, nil
 	}
-	return 0, fmt.Errorf("fleet: unknown policy %q (have round-robin, least-queue, latency-weighted, deadline-aware)", s)
+	return 0, fmt.Errorf("fleet: unknown policy %q (have round-robin, least-queue, latency-weighted, deadline-aware, session-affinity)", s)
 }

@@ -75,6 +75,13 @@ type Cache struct {
 	pool []*sequence
 	// peakUsed tracks the high-water mark of allocated blocks.
 	peakUsed int
+	// shared counts blocks with refcount > 1, maintained incrementally at
+	// every 1<->2 refcount transition so Stats never scans the pool.
+	shared int
+	// indexRefs, when non-nil, counts per-block references held by an
+	// attached PrefixIndex (retained prefixes with no owning sequence),
+	// so CheckInvariants can reconcile refcounts that no sequence holds.
+	indexRefs []int
 }
 
 // New builds an empty cache.
@@ -116,11 +123,27 @@ func (c *Cache) grab() (int, error) {
 	return b, nil
 }
 
+// retain adds one reference to an already-allocated block (fork-style
+// sharing: Fork children and retained prefix index entries both go
+// through here so the shared-block counter stays exact).
+func (c *Cache) retain(b int) {
+	if c.refcount[b] <= 0 {
+		panic(fmt.Sprintf("kvcache: retain of free block %d", b))
+	}
+	c.refcount[b]++
+	if c.refcount[b] == 2 {
+		c.shared++
+	}
+}
+
 // release decrements a block's refcount, returning it to the free list at
 // zero.
 func (c *Cache) release(b int) {
 	if c.refcount[b] <= 0 {
 		panic(fmt.Sprintf("kvcache: release of free block %d", b))
+	}
+	if c.refcount[b] == 2 {
+		c.shared--
 	}
 	c.refcount[b]--
 	if c.refcount[b] == 0 {
@@ -320,7 +343,7 @@ func (c *Cache) Fork(parentID, childID string) error {
 	child.length = p.length
 	child.blocks = append(child.blocks, p.blocks...)
 	for _, b := range p.blocks {
-		c.refcount[b]++
+		c.retain(b)
 	}
 	c.seqs[childID] = child
 	return nil
@@ -378,14 +401,10 @@ func (c *Cache) FreeBlocks() int { return len(c.free) }
 // PeakUsed returns the allocation high-water mark in O(1).
 func (c *Cache) PeakUsed() int { return c.peakUsed }
 
-// Stats returns current occupancy.
+// Stats returns current occupancy. SharedBlocks reads the incrementally
+// maintained counter, so the call is O(1); sharedScan is the O(n) audit
+// kept as a test-only cross-check (CheckInvariants compares the two).
 func (c *Cache) Stats() Stats {
-	shared := 0
-	for _, r := range c.refcount {
-		if r > 1 {
-			shared++
-		}
-	}
 	used := c.cfg.NumBlocks - len(c.free)
 	blockBytes := int64(c.cfg.BlockSize) * c.cfg.BytesPerToken
 	return Stats{
@@ -396,13 +415,27 @@ func (c *Cache) Stats() Stats {
 		Sequences:    len(c.seqs),
 		UsedBytes:    int64(used) * blockBytes,
 		TotalBytes:   int64(c.cfg.NumBlocks) * blockBytes,
-		SharedBlocks: shared,
+		SharedBlocks: c.shared,
 	}
 }
 
+// sharedScan recounts shared blocks the slow way. It exists only to
+// cross-check the incremental counter in CheckInvariants.
+func (c *Cache) sharedScan() int {
+	n := 0
+	for _, r := range c.refcount {
+		if r > 1 {
+			n++
+		}
+	}
+	return n
+}
+
 // CheckInvariants verifies internal consistency: every block is either on
-// the free list with refcount 0 or referenced by refcount sequences, and
-// per-sequence block counts match lengths. Used by property tests.
+// the free list with refcount 0 or referenced by exactly refcount holders
+// (sequences plus any attached prefix index), per-sequence block counts
+// match lengths, and the O(1) shared-block counter agrees with a full
+// scan. Used by property tests.
 func (c *Cache) CheckInvariants() error {
 	refs := make([]int, c.cfg.NumBlocks)
 	for id, s := range c.seqs {
@@ -411,6 +444,14 @@ func (c *Cache) CheckInvariants() error {
 		}
 		for _, b := range s.blocks {
 			refs[b]++
+		}
+	}
+	if c.indexRefs != nil {
+		for b, n := range c.indexRefs {
+			if n < 0 {
+				return fmt.Errorf("kvcache: block %d has negative index refcount %d", b, n)
+			}
+			refs[b] += n
 		}
 	}
 	onFree := make(map[int]bool, len(c.free))
@@ -427,6 +468,9 @@ func (c *Cache) CheckInvariants() error {
 		if (c.refcount[b] == 0) != onFree[b] {
 			return fmt.Errorf("kvcache: block %d free-list membership inconsistent with refcount %d", b, c.refcount[b])
 		}
+	}
+	if scan := c.sharedScan(); scan != c.shared {
+		return fmt.Errorf("kvcache: shared counter %d disagrees with scan %d", c.shared, scan)
 	}
 	return nil
 }

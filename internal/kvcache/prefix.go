@@ -1,0 +1,344 @@
+// Prefix index: cross-request KV reuse in the style of vLLM's automatic
+// prefix caching and SGLang's RadixAttention. Completed sequences donate
+// their full blocks to a content-addressed index (chained block hashes
+// over token symbols); a later request whose prompt shares a prefix
+// re-acquires those blocks with fork-style refcount bumps and only
+// prefills the unmatched suffix. Retained blocks are reclaimable
+// capacity: when the free list runs low, the least-recently-used leaf
+// entries are evicted first, so hot session histories survive while cold
+// ones make room.
+package kvcache
+
+import "fmt"
+
+// prefixSeed is the FNV-64a offset basis; block hash chains start here.
+const prefixSeed uint64 = 14695981039346656037
+
+// prefixMix folds one 64-bit token symbol into a running hash with a
+// single xor-multiply-rotate step (an FNV-style mix widened to 64-bit
+// lanes). Prefix matching hashes every prompt token on admission, so the
+// step must be one multiply, not eight.
+func prefixMix(h, sym uint64) uint64 {
+	h = (h ^ sym) * 0x9e3779b97f4a7c15
+	return h>>29 | h<<35
+}
+
+// PrefixMetrics counts index activity since construction.
+type PrefixMetrics struct {
+	// Lookups counts Acquire calls; Hits those that matched >= 1 block.
+	Lookups int
+	Hits    int
+	// SavedTokens is the total prefill work avoided by matches.
+	SavedTokens int
+	// Retained is the current number of index-held blocks.
+	Retained int
+	// Evictions counts entries dropped under capacity pressure.
+	Evictions int
+}
+
+// prefixEntry is one retained block keyed by its chained content hash.
+type prefixEntry struct {
+	hash   uint64
+	block  int
+	parent *prefixEntry
+	// children counts entries hashing through this one; only leaves
+	// (children == 0) are evictable, so a chain always evicts tail-first.
+	children int
+	// lastUse is the logical tick of the most recent match through this
+	// entry; the evictable list stays sorted ascending by it.
+	lastUse uint64
+	// prev/next link the entry into the evictable LRU list while it is a
+	// leaf (least-recent at the front).
+	prev, next *prefixEntry
+	inLRU      bool
+}
+
+// PrefixIndex maps chained block hashes to retained cache blocks. It is
+// bound to one Cache and, like the Cache, is not safe for concurrent
+// use. At most one index may be attached to a cache.
+type PrefixIndex struct {
+	c       *Cache
+	entries map[uint64]*prefixEntry
+	// lruHead/lruTail bound the evictable-leaf list (LRU at head).
+	lruHead, lruTail *prefixEntry
+	// tick is the logical clock stamping lastUse.
+	tick uint64
+	m    PrefixMetrics
+	// match is the scratch chain reused across Probe/Acquire walks. The
+	// memo fields identify the last walked syms slice (by backing array
+	// and length) and the index mutation count it ran under, so the
+	// Probe-then-Acquire admission pattern hashes the prompt once, not
+	// twice. mut is bumped by every entry insert and eviction.
+	match    []*prefixEntry
+	memoSym0 *uint64
+	memoLen  int
+	memoMut  uint64
+	mut      uint64
+	// pool recycles evicted entry shells so steady-state retain/evict
+	// churn is allocation-free; slab batch-allocates fresh shells so
+	// first-time retention costs one allocation per 256 entries.
+	pool []*prefixEntry
+	slab []prefixEntry
+}
+
+// NewPrefixIndex attaches a prefix index to the cache. The cache starts
+// tracking index-held references so CheckInvariants stays exact.
+func NewPrefixIndex(c *Cache) *PrefixIndex {
+	if c.indexRefs != nil {
+		panic("kvcache: cache already has a prefix index attached")
+	}
+	c.indexRefs = make([]int, c.cfg.NumBlocks)
+	return &PrefixIndex{c: c, entries: make(map[uint64]*prefixEntry)}
+}
+
+// Metrics returns a snapshot of the index counters.
+func (ix *PrefixIndex) Metrics() PrefixMetrics { return ix.m }
+
+// walk matches syms against the index block by block, refreshing every
+// matched entry's recency, and leaves the chain in ix.match. Only full
+// blocks participate, and at least one token is always left unmatched so
+// the engine has a suffix to prefill (real engines recompute the last
+// prompt token to produce first-step logits). A repeat walk of the same
+// (never-mutated) syms slice against an unmutated index — the engine's
+// Probe-then-Acquire admission, and its per-event retries of a blocked
+// stream head — reuses the previous result instead of re-hashing the
+// whole prompt.
+func (ix *PrefixIndex) walk(syms []uint64) []*prefixEntry {
+	if len(syms) > 0 && ix.memoSym0 == &syms[0] && ix.memoLen == len(syms) && ix.memoMut == ix.mut {
+		return ix.match
+	}
+	ix.match = ix.match[:0]
+	bs := ix.c.cfg.BlockSize
+	maxBlocks := (len(syms) - 1) / bs
+	h := prefixSeed
+	for k := 0; k < maxBlocks; k++ {
+		for _, sym := range syms[k*bs : (k+1)*bs] {
+			h = prefixMix(h, sym)
+		}
+		e := ix.entries[h]
+		if e == nil {
+			break
+		}
+		ix.touch(e)
+		ix.match = append(ix.match, e)
+	}
+	if len(syms) > 0 {
+		ix.memoSym0, ix.memoLen, ix.memoMut = &syms[0], len(syms), ix.mut
+	}
+	return ix.match
+}
+
+// Probe returns how many blocks of syms the index currently holds,
+// refreshing their recency. It allocates nothing and takes no blocks.
+func (ix *PrefixIndex) Probe(syms []uint64) int { return len(ix.walk(syms)) }
+
+// Acquire creates seqID seeded with the longest indexed prefix of syms
+// (fork-style: matched blocks are shared copy-on-write via refcount
+// bumps) and returns the number of tokens reused. A zero return means a
+// cold start; the sequence then exists with length 0 and the caller
+// appends the whole prompt. The caller must not evict between a Probe
+// and the Acquire that relies on it — both walk the same index state.
+func (ix *PrefixIndex) Acquire(seqID string, syms []uint64) (int, error) {
+	if _, ok := ix.c.seqs[seqID]; ok {
+		return 0, ErrSequenceExists
+	}
+	ix.m.Lookups++
+	chain := ix.walk(syms)
+	s := ix.c.newSequence(len(chain))
+	for _, e := range chain {
+		ix.c.retain(e.block)
+		s.blocks = append(s.blocks, e.block)
+	}
+	s.length = len(chain) * ix.c.cfg.BlockSize
+	ix.c.seqs[seqID] = s
+	if s.length > 0 {
+		ix.m.Hits++
+		ix.m.SavedTokens += s.length
+	}
+	return s.length, nil
+}
+
+// Release frees the handle's sequence while retaining every full block
+// whose content is identified by promptSyms followed by outputSyms. Blocks
+// past the identified (or partial-tail) region are released normally. A
+// block already indexed under the same chain hash is not re-retained: the
+// existing entry wins and the sequence's reference is simply dropped.
+func (ix *PrefixIndex) Release(h Handle, promptSyms, outputSyms []uint64) error {
+	if !ix.c.valid(h) {
+		return ErrUnknownSequence
+	}
+	s := h.s
+	bs := ix.c.cfg.BlockSize
+	covered := len(promptSyms) + len(outputSyms)
+	if covered > s.length {
+		covered = s.length
+	}
+	full := covered / bs
+	hh := prefixSeed
+	var parent *prefixEntry
+	for k := 0; k < full; k++ {
+		for i := k * bs; i < (k+1)*bs; i++ {
+			if i < len(promptSyms) {
+				hh = prefixMix(hh, promptSyms[i])
+			} else {
+				hh = prefixMix(hh, outputSyms[i-len(promptSyms)])
+			}
+		}
+		e := ix.entries[hh]
+		if e == nil {
+			ix.tick++
+			e = ix.newEntry()
+			*e = prefixEntry{hash: hh, block: s.blocks[k], parent: parent, lastUse: ix.tick}
+			ix.c.retain(e.block)
+			ix.c.indexRefs[e.block]++
+			ix.entries[hh] = e
+			ix.mut++
+			if parent != nil {
+				parent.children++
+				ix.lruRemove(parent) // interior entries are not evictable
+			}
+			ix.lruPush(e)
+			ix.m.Retained++
+		} else {
+			ix.touch(e)
+		}
+		parent = e
+	}
+	ix.c.freeSeq(h.id, s)
+	return nil
+}
+
+// EnsureFree evicts least-recently-used leaf entries until the cache has
+// at least n free blocks or nothing evictable remains. Evicting an entry
+// whose block is still shared with a live sequence reclaims no capacity
+// immediately (the block frees when the sequence does), so the loop keeps
+// going until the target is met or the index is drained.
+func (ix *PrefixIndex) EnsureFree(n int) {
+	for len(ix.c.free) < n {
+		if !ix.evictOne() {
+			return
+		}
+	}
+}
+
+// evictOne drops the least-recently-used leaf entry, reporting false when
+// none remains.
+func (ix *PrefixIndex) evictOne() bool {
+	e := ix.lruHead
+	if e == nil {
+		return false
+	}
+	ix.lruRemove(e)
+	delete(ix.entries, e.hash)
+	ix.mut++
+	ix.c.indexRefs[e.block]--
+	ix.c.release(e.block)
+	ix.m.Retained--
+	ix.m.Evictions++
+	if p := e.parent; p != nil {
+		p.children--
+		if p.children == 0 {
+			// The parent becomes a leaf again; re-enter the evictable list
+			// at its true recency, so a cold chain keeps tearing down
+			// before any recently-matched chain is touched.
+			ix.lruInsert(p)
+		}
+	}
+	ix.pool = append(ix.pool, e)
+	return true
+}
+
+// newEntry returns an entry shell, recycled from the pool when possible
+// and carved from the current slab otherwise.
+func (ix *PrefixIndex) newEntry() *prefixEntry {
+	if n := len(ix.pool); n > 0 {
+		e := ix.pool[n-1]
+		ix.pool[n-1] = nil
+		ix.pool = ix.pool[:n-1]
+		return e
+	}
+	if len(ix.slab) == 0 {
+		ix.slab = make([]prefixEntry, 256)
+	}
+	e := &ix.slab[0]
+	ix.slab = ix.slab[1:]
+	return e
+}
+
+// touch stamps an entry's recency and, if it is evictable, moves it to
+// the MRU end of the list.
+func (ix *PrefixIndex) touch(e *prefixEntry) {
+	ix.tick++
+	e.lastUse = ix.tick
+	if !e.inLRU || ix.lruTail == e {
+		return
+	}
+	ix.lruRemove(e)
+	ix.lruPush(e)
+}
+
+// lruPush appends e at the MRU end (callers guarantee e.lastUse is the
+// newest tick, keeping the list sorted).
+func (ix *PrefixIndex) lruPush(e *prefixEntry) {
+	if e.inLRU {
+		panic(fmt.Sprintf("kvcache: prefix entry for block %d already on LRU list", e.block))
+	}
+	e.inLRU = true
+	e.prev = ix.lruTail
+	e.next = nil
+	if ix.lruTail != nil {
+		ix.lruTail.next = e
+	} else {
+		ix.lruHead = e
+	}
+	ix.lruTail = e
+}
+
+// lruInsert places e at the position its lastUse dictates (the list is
+// sorted ascending). Used when an interior entry becomes a leaf again:
+// its recency predates entries touched since, so it usually lands near
+// the front after a short walk from the tail.
+func (ix *PrefixIndex) lruInsert(e *prefixEntry) {
+	at := ix.lruTail // insert after at; nil means at the head
+	for at != nil && at.lastUse > e.lastUse {
+		at = at.prev
+	}
+	if at == ix.lruTail {
+		ix.lruPush(e)
+		return
+	}
+	if e.inLRU {
+		panic(fmt.Sprintf("kvcache: prefix entry for block %d already on LRU list", e.block))
+	}
+	e.inLRU = true
+	if at == nil {
+		e.prev = nil
+		e.next = ix.lruHead
+		ix.lruHead.prev = e
+		ix.lruHead = e
+		return
+	}
+	e.prev = at
+	e.next = at.next
+	at.next.prev = e
+	at.next = e
+}
+
+// lruRemove unlinks e if it is on the list.
+func (ix *PrefixIndex) lruRemove(e *prefixEntry) {
+	if !e.inLRU {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		ix.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		ix.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	e.inLRU = false
+}

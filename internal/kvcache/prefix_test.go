@@ -1,0 +1,300 @@
+package kvcache
+
+import "testing"
+
+// syms returns n distinct token symbols offset by base, so tests can
+// build prompts with controlled shared prefixes.
+func syms(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)
+	}
+	return out
+}
+
+func newPrefixCache(t *testing.T, blockSize, numBlocks int) (*Cache, *PrefixIndex) {
+	t.Helper()
+	c, err := New(Config{BlockSize: blockSize, NumBlocks: numBlocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, NewPrefixIndex(c)
+}
+
+// runTurn acquires a sequence for promptSyms, appends the unmatched
+// prompt suffix plus the output, and releases it with retention.
+func runTurn(t *testing.T, c *Cache, ix *PrefixIndex, id string, promptSyms, outputSyms []uint64) int {
+	t.Helper()
+	matched, err := ix.Acquire(id, promptSyms)
+	if err != nil {
+		t.Fatalf("%s: acquire: %v", id, err)
+	}
+	h, err := c.Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AppendTokensH(h, len(promptSyms)-matched+len(outputSyms)); err != nil {
+		t.Fatalf("%s: append: %v", id, err)
+	}
+	if err := ix.Release(h, promptSyms, outputSyms); err != nil {
+		t.Fatalf("%s: release: %v", id, err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return matched
+}
+
+func TestPrefixColdThenWarm(t *testing.T) {
+	c, ix := newPrefixCache(t, 4, 64)
+	prompt := syms(100, 10)
+	out := syms(1000, 6)
+
+	if m := runTurn(t, c, ix, "t0", prompt, out); m != 0 {
+		t.Fatalf("cold acquire matched %d tokens, want 0", m)
+	}
+	// 16 tokens retained => 4 full blocks held by the index.
+	if got := ix.Metrics().Retained; got != 4 {
+		t.Fatalf("retained %d blocks, want 4", got)
+	}
+
+	// Same prompt again: full blocks match, but at least one token must
+	// remain for prefill, so 10 tokens cap at 2 blocks = 8 tokens.
+	if m := runTurn(t, c, ix, "t1", prompt, syms(2000, 2)); m != 8 {
+		t.Fatalf("warm acquire matched %d tokens, want 8", m)
+	}
+
+	// Next turn's prompt extends the first turn's prompt+output: all 4
+	// retained blocks match.
+	history := append(append([]uint64{}, prompt...), out...)
+	next := append(append([]uint64{}, history...), syms(3000, 5)...)
+	if m := runTurn(t, c, ix, "t2", next, nil); m != 16 {
+		t.Fatalf("extended acquire matched %d tokens, want 16", m)
+	}
+
+	m := ix.Metrics()
+	if m.Lookups != 3 || m.Hits != 2 {
+		t.Fatalf("lookups/hits = %d/%d, want 3/2", m.Lookups, m.Hits)
+	}
+	if m.SavedTokens != 24 {
+		t.Fatalf("saved %d tokens, want 24", m.SavedTokens)
+	}
+}
+
+func TestPrefixSharedBlocksWhileLive(t *testing.T) {
+	c, ix := newPrefixCache(t, 4, 64)
+	prompt := syms(100, 9)
+	runTurn(t, c, ix, "t0", prompt, nil)
+
+	// Two concurrent branches off the same retained history: both share
+	// the retained blocks fork-style.
+	for _, id := range []string{"b0", "b1"} {
+		if _, err := ix.Acquire(id, prompt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Stats().SharedBlocks; got != 2 {
+		t.Fatalf("SharedBlocks = %d, want 2 (index + two branches on 2 blocks)", got)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"b0", "b1"} {
+		if err := c.Free(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixDuplicateContentKeepsOneCopy(t *testing.T) {
+	c, ix := newPrefixCache(t, 4, 64)
+	prompt := syms(100, 8)
+	// Two sequences with identical content complete without ever seeing
+	// each other (both cold). The second release must not double-retain.
+	for _, id := range []string{"a", "b"} {
+		if _, err := ix.Acquire(id, prompt); err != nil {
+			t.Fatal(err)
+		}
+		h, err := c.Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AppendTokensH(h, len(prompt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{"a", "b"} {
+		h, err := c.Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Release(h, prompt, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ix.Metrics().Retained; got != 2 {
+		t.Fatalf("retained %d blocks, want 2 (one copy of the 2 full blocks)", got)
+	}
+	// Only the canonical copy survives; the duplicate's blocks are free.
+	if free := c.FreeBlocks(); free != 62 {
+		t.Fatalf("free %d blocks, want 62", free)
+	}
+}
+
+func TestPrefixEvictionLRULeafFirst(t *testing.T) {
+	c, ix := newPrefixCache(t, 4, 16)
+	// Retain two chains: "old" (2 blocks) then "hot" (2 blocks).
+	old := syms(100, 8)
+	hot := syms(5000, 8)
+	runTurn(t, c, ix, "a", old, nil)
+	runTurn(t, c, ix, "b", hot, nil)
+	// Touch the old chain so the hot one becomes LRU.
+	if got := ix.Probe(append(append([]uint64{}, old...), 9)); got != 2 {
+		t.Fatalf("probe matched %d blocks, want 2", got)
+	}
+
+	if c.FreeBlocks() != 12 {
+		t.Fatalf("free %d, want 12", c.FreeBlocks())
+	}
+	// Ask for more free blocks than exist outside the index: the two
+	// hot-chain blocks must go (leaf first, then its parent), the
+	// recently-probed old chain survives.
+	ix.EnsureFree(14)
+	if c.FreeBlocks() != 14 {
+		t.Fatalf("free %d after eviction, want 14", c.FreeBlocks())
+	}
+	m := ix.Metrics()
+	if m.Evictions != 2 || m.Retained != 2 {
+		t.Fatalf("evictions/retained = %d/%d, want 2/2", m.Evictions, m.Retained)
+	}
+	if got := ix.Probe(append(append([]uint64{}, old...), 9)); got != 2 {
+		t.Fatalf("old chain lost: probe matched %d blocks, want 2", got)
+	}
+	if got := ix.Probe(append(append([]uint64{}, hot...), 9)); got != 0 {
+		t.Fatalf("evicted chain still matches %d blocks", got)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Draining the index completely frees everything.
+	ix.EnsureFree(16)
+	if c.FreeBlocks() != 16 || ix.Metrics().Retained != 0 {
+		t.Fatalf("drain left free=%d retained=%d", c.FreeBlocks(), ix.Metrics().Retained)
+	}
+}
+
+func TestPrefixEvictSharedBlockDoesNotFreeIt(t *testing.T) {
+	c, ix := newPrefixCache(t, 4, 8)
+	prompt := syms(100, 8)
+	runTurn(t, c, ix, "t0", prompt, nil) // retains 2 blocks
+	// A live sequence shares both retained blocks.
+	if m, err := ix.Acquire("live", append(append([]uint64{}, prompt...), 9)); err != nil || m != 8 {
+		t.Fatalf("acquire = %d, %v; want 8 matched", m, err)
+	}
+	// Evicting the whole index drops only the index refs; the live
+	// sequence keeps the blocks allocated.
+	ix.EnsureFree(8)
+	if got := ix.Metrics().Retained; got != 0 {
+		t.Fatalf("retained %d after full eviction, want 0", got)
+	}
+	if free := c.FreeBlocks(); free != 6 {
+		t.Fatalf("free %d, want 6 (live sequence still holds 2)", free)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Free("live"); err != nil {
+		t.Fatal(err)
+	}
+	if free := c.FreeBlocks(); free != 8 {
+		t.Fatalf("free %d after live free, want 8", free)
+	}
+}
+
+func TestPrefixReLeafedParentKeepsItsRecency(t *testing.T) {
+	c, ix := newPrefixCache(t, 4, 16)
+	x := syms(100, 8)  // chain X: blocks X0, X1
+	z := syms(2000, 5) // chain Z: one block
+	y := syms(3000, 5) // chain Y: one block
+	runTurn(t, c, ix, "a", x, nil)
+	runTurn(t, c, ix, "c", z, nil)
+	// Refresh only X0 (a one-block probe), leaving X1 the oldest leaf.
+	if got := ix.Probe(x[:5]); got != 1 {
+		t.Fatalf("short probe matched %d blocks, want 1", got)
+	}
+	runTurn(t, c, ix, "d", y, nil)
+
+	// Evict one: X1 is LRU. Its parent X0 re-leafs and must re-enter the
+	// list at its own (probe-refreshed) recency — after Z, before Y.
+	ix.EnsureFree(c.FreeBlocks() + 1)
+	if got := ix.Probe(x[:5]); got != 1 {
+		t.Fatal("X0 evicted with its child — chain torn down too far")
+	}
+	// Next eviction must take Z (older than the re-leafed X0).
+	ix.EnsureFree(c.FreeBlocks() + 1)
+	if got := ix.Probe(z); got != 0 {
+		t.Fatal("Z survived an eviction it should have lost (re-leafed X0 inserted at the head)")
+	}
+	if got := ix.Probe(x[:5]); got != 1 {
+		t.Fatal("X0 gone before Z")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Retaining after evictions recycles pooled entry shells; the index
+	// must behave identically.
+	before := ix.Metrics().Evictions
+	runTurn(t, c, ix, "e", syms(4000, 9), nil)
+	if got := ix.Probe(syms(4000, 9)); got != 2 {
+		t.Fatalf("post-eviction retain matched %d blocks, want 2", got)
+	}
+	if ix.Metrics().Evictions != before {
+		t.Fatal("retain must not evict")
+	}
+}
+
+func TestPrefixAcquireDuplicateID(t *testing.T) {
+	c, ix := newPrefixCache(t, 4, 8)
+	if _, err := ix.Acquire("a", syms(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Acquire("a", syms(0, 5)); err != ErrSequenceExists {
+		t.Fatalf("duplicate acquire: got %v, want ErrSequenceExists", err)
+	}
+	_ = c
+}
+
+func TestPrefixReleaseStaleHandle(t *testing.T) {
+	c, ix := newPrefixCache(t, 4, 8)
+	if _, err := ix.Acquire("a", syms(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Lookup("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FreeH(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Release(h, syms(0, 5), nil); err != ErrUnknownSequence {
+		t.Fatalf("stale release: got %v, want ErrUnknownSequence", err)
+	}
+}
+
+func TestSecondPrefixIndexPanics(t *testing.T) {
+	c, _ := newPrefixCache(t, 4, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second NewPrefixIndex did not panic")
+		}
+	}()
+	NewPrefixIndex(c)
+}

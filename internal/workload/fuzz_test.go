@@ -64,7 +64,8 @@ func FuzzGenerate(f *testing.F) {
 			t.Fatalf("second generation failed: %v", err)
 		}
 		for i := range reqs {
-			if reqs[i] != again[i] {
+			if reqs[i].Request != again[i].Request || reqs[i].Arrival != again[i].Arrival ||
+				reqs[i].Deadline != again[i].Deadline {
 				t.Fatalf("request %d not deterministic: %+v vs %+v", i, reqs[i], again[i])
 			}
 		}

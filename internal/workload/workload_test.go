@@ -16,7 +16,7 @@ func TestGenerateDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i].Request != b[i].Request || a[i].Arrival != b[i].Arrival || a[i].Deadline != b[i].Deadline {
 			t.Fatal("same seed must reproduce the stream")
 		}
 	}

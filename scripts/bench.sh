@@ -8,8 +8,10 @@
 #   BENCHTIME   go test -benchtime value (default 2s; CI smoke uses 1x)
 #
 # The tracked targets are the serving hot loop (engine.Serve / engine.Run
-# over a long-generation open-loop stream) and the KV-cache append paths
-# (bulk handle-based vs per-token). Only allocs/op is gated — it is
+# over a long-generation open-loop stream), the session-serving loop
+# (multi-turn agentic stream, warm prefix cache vs cold), and the
+# KV-cache append paths (bulk handle-based vs per-token). Only allocs/op
+# is gated — it is
 # deterministic across machines — while ns/op is recorded for the
 # before/after table in the README. The pre-optimization reference in
 # BENCH_serve.json's "pre_pr" section is preserved across updates.
@@ -20,7 +22,7 @@ BENCHTIME="${BENCHTIME:-2s}"
 MODE="${1:-check}"
 
 run_benches() {
-  go test -run '^$' -bench 'BenchmarkServeHotLoop$|BenchmarkRunHotLoop$' \
+  go test -run '^$' -bench 'BenchmarkServeHotLoop$|BenchmarkRunHotLoop$|BenchmarkSessionServe$' \
     -benchmem -benchtime "$BENCHTIME" -count 1 ./internal/engine
   go test -run '^$' -bench 'BenchmarkKVAppend$|BenchmarkKVAppendToken$' \
     -benchmem -benchtime "$BENCHTIME" -count 1 ./internal/kvcache
