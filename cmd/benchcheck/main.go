@@ -11,7 +11,10 @@
 // fresh measurement fails the check when it exceeds
 // baseline*(1+tolerance)+slack. The "pre_pr" section records the
 // pre-optimization tree and is preserved verbatim on update, so the
-// before/after story stays in the file.
+// before/after story stays in the file. With -update -commit <hash>
+// [-date <YYYY-MM-DD>], the measurement is additionally appended to the
+// "history" list (deduplicated by commit), making the cross-PR perf
+// trajectory machine-readable.
 package main
 
 import (
@@ -41,12 +44,26 @@ type Section struct {
 	Targets map[string]Measurement `json:"targets"`
 }
 
+// HistoryEntry is one PR's frozen measurement in the cross-PR
+// trajectory: the commit the tree was measured at, the (UTC) date, and
+// the full target set of that run.
+type HistoryEntry struct {
+	Commit  string                 `json:"commit"`
+	Date    string                 `json:"date,omitempty"`
+	Go      string                 `json:"go,omitempty"`
+	Targets map[string]Measurement `json:"targets"`
+}
+
 // File is the BENCH_serve.json schema.
 type File struct {
 	Schema  int     `json:"schema"`
 	Note    string  `json:"note,omitempty"`
 	PrePR   Section `json:"pre_pr"`
 	Current Section `json:"current"`
+	// History accumulates one entry per PR (appended by `-update -commit
+	// <hash>`, deduplicated by commit), so the perf trajectory across
+	// the repository's life stays machine-readable.
+	History []HistoryEntry `json:"history,omitempty"`
 }
 
 // benchLine matches one `go test -bench -benchmem` result row, e.g.
@@ -121,17 +138,31 @@ func check(baseline, fresh map[string]Measurement, tolerance float64, slack int6
 }
 
 // update rewrites the file's "current" section with fresh measurements,
-// preserving the pre-PR reference section byte-for-byte in meaning.
-func update(f *File, fresh map[string]Measurement) {
+// preserving the pre-PR reference section byte-for-byte in meaning. When
+// a commit is supplied, the measurement is also recorded in the history
+// trajectory — replacing an existing entry for the same commit, so
+// re-running update on one tree does not duplicate its point.
+func update(f *File, fresh map[string]Measurement, commit, date string) {
 	f.Schema = 1
 	f.Current = Section{
 		Note:    "latest committed measurement; regenerate with scripts/bench.sh update",
 		Go:      runtime.Version(),
 		Targets: fresh,
 	}
+	if commit == "" {
+		return
+	}
+	entry := HistoryEntry{Commit: commit, Date: date, Go: runtime.Version(), Targets: fresh}
+	for i := range f.History {
+		if f.History[i].Commit == commit {
+			f.History[i] = entry
+			return
+		}
+	}
+	f.History = append(f.History, entry)
 }
 
-func run(baselinePath string, doUpdate bool, tolerance float64, slack int64, stdin io.Reader, stdout io.Writer) error {
+func run(baselinePath string, doUpdate bool, commit, date string, tolerance float64, slack int64, stdin io.Reader, stdout io.Writer) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -145,7 +176,7 @@ func run(baselinePath string, doUpdate bool, tolerance float64, slack int64, std
 		return err
 	}
 	if doUpdate {
-		update(&f, fresh)
+		update(&f, fresh, commit, date)
 		out, err := json.MarshalIndent(&f, "", "  ")
 		if err != nil {
 			return err
@@ -163,10 +194,12 @@ func run(baselinePath string, doUpdate bool, tolerance float64, slack int64, std
 func main() {
 	baseline := flag.String("baseline", "BENCH_serve.json", "benchmark trajectory file")
 	doUpdate := flag.Bool("update", false, "rewrite the baseline's current section from stdin instead of checking")
+	commit := flag.String("commit", "", "with -update: also record the measurement as this commit's history entry")
+	date := flag.String("date", "", "with -update -commit: the measurement date (UTC, YYYY-MM-DD)")
 	tolerance := flag.Float64("tolerance", 0.25, "fractional allocs/op headroom before a regression fails")
 	slack := flag.Int64("slack", 8, "absolute allocs/op headroom added on top of the tolerance")
 	flag.Parse()
-	if err := run(*baseline, *doUpdate, *tolerance, *slack, os.Stdin, os.Stdout); err != nil {
+	if err := run(*baseline, *doUpdate, *commit, *date, *tolerance, *slack, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -91,7 +91,7 @@ func TestUpdatePreservesPrePR(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stdout strings.Builder
-	if err := run(path, true, 0.25, 8, strings.NewReader(sampleBench), &stdout); err != nil {
+	if err := run(path, true, "", "", 0.25, 8, strings.NewReader(sampleBench), &stdout); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)
@@ -109,7 +109,63 @@ func TestUpdatePreservesPrePR(t *testing.T) {
 		t.Errorf("current section not rewritten: %+v", got.Current)
 	}
 	// And the rewritten file must pass its own gate on the same input.
-	if err := run(path, false, 0.25, 8, strings.NewReader(sampleBench), &stdout); err != nil {
+	if err := run(path, false, "", "", 0.25, 8, strings.NewReader(sampleBench), &stdout); err != nil {
 		t.Errorf("self-check after update failed: %v", err)
+	}
+}
+
+func TestUpdateAppendsAndDedupesHistory(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_serve.json")
+	if err := os.WriteFile(path, []byte(`{"schema":1,"pre_pr":{"targets":{}},"current":{"targets":{}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout strings.Builder
+	read := func() File {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var f File
+		if err := json.Unmarshal(raw, &f); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	// Update without a commit: current rewritten, no history point.
+	if err := run(path, true, "", "", 0.25, 8, strings.NewReader(sampleBench), &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(); len(got.History) != 0 {
+		t.Fatalf("commitless update must not append history: %+v", got.History)
+	}
+	// Two PRs append two entries in order.
+	if err := run(path, true, "abc1234", "2026-07-26", 0.25, 8, strings.NewReader(sampleBench), &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, true, "def5678", "2026-08-02", 0.25, 8, strings.NewReader(sampleBench), &stdout); err != nil {
+		t.Fatal(err)
+	}
+	got := read()
+	if len(got.History) != 2 || got.History[0].Commit != "abc1234" || got.History[1].Commit != "def5678" {
+		t.Fatalf("history = %+v, want [abc1234, def5678]", got.History)
+	}
+	if got.History[0].Date != "2026-07-26" {
+		t.Errorf("history entry lost its date: %+v", got.History[0])
+	}
+	if got.History[1].Targets["BenchmarkServeHotLoop"].AllocsPerOp != 60 {
+		t.Errorf("history entry lost its targets: %+v", got.History[1])
+	}
+	// Re-measuring the same commit replaces its entry instead of
+	// duplicating the trajectory point.
+	if err := run(path, true, "def5678", "2026-08-03", 0.25, 8, strings.NewReader(sampleBench), &stdout); err != nil {
+		t.Fatal(err)
+	}
+	got = read()
+	if len(got.History) != 2 {
+		t.Fatalf("same-commit update duplicated history: %+v", got.History)
+	}
+	if got.History[1].Date != "2026-08-03" {
+		t.Errorf("same-commit update must refresh the entry: %+v", got.History[1])
 	}
 }

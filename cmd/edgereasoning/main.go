@@ -8,6 +8,7 @@
 //	edgereasoning all [flags]          # run the full suite
 //	edgereasoning fleet [flags]        # heterogeneous-fleet serving sweep
 //	edgereasoning sessions [flags]     # multi-turn agentic serving study
+//	edgereasoning autoscale [flags]    # elastic fleet + ingress admission study
 //	edgereasoning sweep <id> [flags]   # fan one experiment across seeds
 //
 // Flags:
@@ -22,12 +23,16 @@
 //	-memprofile F write a heap profile at exit to F
 //	-seeds LIST   comma-separated seeds (sweep only; default 1..8)
 //	-replicas N   fleet size (fleet only; default 4)
-//	-devices L    comma-separated device cycle (fleet only)
+//	-devices L    comma-separated device cycle (fleet and autoscale)
 //	-policy P     routing policy or "all" (fleet and sessions)
-//	-qps Q        offered load in requests/s (fleet only)
+//	-qps Q        offered load in requests/s (fleet; autoscale background load)
 //	-sessions N   concurrent sessions (sessions only; default 10)
 //	-turns N      agent-loop turns per session (sessions only; default 5)
 //	-branch N     parallel think samples at branch turns (sessions only; default 2)
+//	-min N        autoscale pool floor (autoscale only; default 1)
+//	-max N        autoscale pool ceiling (autoscale only; default 6)
+//	-admission D  ingress discipline: fifo | edf | sjf | shed (autoscale only)
+//	-scale-on S   scale-up signals: depth | miss | both (autoscale only)
 //
 // Experiments run on a worker pool but the report is emitted in registry
 // order, so output is byte-identical at any parallelism.
@@ -95,7 +100,7 @@ func run(args []string) error {
 		if len(rest) == 0 {
 			return fmt.Errorf("run: missing experiment id")
 		}
-		cfg, err := parseFlags(rest[1:], false, false)
+		cfg, err := parseFlags(rest[1:], false, false, false)
 		if err != nil {
 			return err
 		}
@@ -104,7 +109,7 @@ func run(args []string) error {
 		}
 		return execute([]string{rest[0]}, cfg)
 	case "all":
-		cfg, err := parseFlags(rest, false, false)
+		cfg, err := parseFlags(rest, false, false, false)
 		if err != nil {
 			return err
 		}
@@ -113,7 +118,7 @@ func run(args []string) error {
 		}
 		return execute(experiments.IDs(), cfg)
 	case "fleet":
-		cfg, err := parseFlags(rest, true, false)
+		cfg, err := parseFlags(rest, true, false, false)
 		if err != nil {
 			return err
 		}
@@ -122,7 +127,7 @@ func run(args []string) error {
 		}
 		return execute([]string{"fleet"}, cfg)
 	case "sessions":
-		cfg, err := parseFlags(rest, false, true)
+		cfg, err := parseFlags(rest, false, true, false)
 		if err != nil {
 			return err
 		}
@@ -130,11 +135,20 @@ func run(args []string) error {
 			return fmt.Errorf("sessions: -seeds only applies to sweep (use -seed)")
 		}
 		return execute([]string{"sessions"}, cfg)
+	case "autoscale":
+		cfg, err := parseFlags(rest, false, false, true)
+		if err != nil {
+			return err
+		}
+		if cfg.seedsSet {
+			return fmt.Errorf("autoscale: -seeds only applies to sweep (use -seed)")
+		}
+		return execute([]string{"autoscale"}, cfg)
 	case "sweep":
 		if len(rest) == 0 {
 			return fmt.Errorf("sweep: missing experiment id")
 		}
-		cfg, err := parseFlags(rest[1:], false, false)
+		cfg, err := parseFlags(rest[1:], false, false, false)
 		if err != nil {
 			return err
 		}
@@ -151,9 +165,9 @@ func run(args []string) error {
 	}
 }
 
-// parseFlags parses the shared flag set; withFleet and withSessions
-// additionally register the fleet / sessions subcommands' knobs.
-func parseFlags(args []string, withFleet, withSessions bool) (config, error) {
+// parseFlags parses the shared flag set; withFleet, withSessions, and
+// withAutoscale additionally register their subcommands' knobs.
+func parseFlags(args []string, withFleet, withSessions, withAutoscale bool) (config, error) {
 	fs := flag.NewFlagSet("edgereasoning", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 7, "random seed")
 	quick := fs.Bool("quick", false, "subsample large banks")
@@ -180,6 +194,16 @@ func parseFlags(args []string, withFleet, withSessions bool) (config, error) {
 		sessionTurns = fs.Int("turns", 0, "agent-loop turns per session (0 = driver default of 5)")
 		sessionBranch = fs.Int("branch", 0, "parallel think samples at branch turns (0 = driver default of 2)")
 		sessionPolicy = fs.String("policy", "all", "affinity-table routing policy (round-robin, least-queue, session-affinity, all)")
+	}
+	var autoMin, autoMax *int
+	var autoAdmission, autoScaleOn *string
+	if withAutoscale {
+		autoMin = fs.Int("min", 0, "autoscale pool floor (0 = driver default of 1)")
+		autoMax = fs.Int("max", 0, "autoscale pool ceiling (0 = driver default of 6)")
+		autoAdmission = fs.String("admission", "", "ingress discipline (fifo, edf, sjf, shed; default fifo)")
+		autoScaleOn = fs.String("scale-on", "", "scale-up signals (depth, miss, both; default both)")
+		devices = fs.String("devices", "", "comma-separated device cycle (default orin,orin-50w,orin-30w)")
+		qps = fs.Float64("qps", 0, "background load in requests/s (0 = driver default of 0.2; the spike is 100x)")
 	}
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
@@ -225,6 +249,33 @@ func parseFlags(args []string, withFleet, withSessions bool) (config, error) {
 		cfg.opts.SessionTurns = *sessionTurns
 		cfg.opts.SessionBranch = *sessionBranch
 		cfg.opts.SessionPolicy = *sessionPolicy
+	}
+	if withAutoscale {
+		// Validate the spellings here so a typo fails before the fleet
+		// spins up its engines.
+		if *autoAdmission != "" {
+			if _, err := fleet.ParseAdmission(*autoAdmission); err != nil {
+				return config{}, err
+			}
+		}
+		if _, err := fleet.ParseScaleSignal(*autoScaleOn); err != nil {
+			return config{}, err
+		}
+		if _, err := fleet.ParseDevices(*devices); err != nil {
+			return config{}, err
+		}
+		if *autoMin < 0 || *autoMax < 0 {
+			return config{}, fmt.Errorf("autoscale: -min and -max must be non-negative")
+		}
+		if *autoMax > 0 && *autoMax < *autoMin {
+			return config{}, fmt.Errorf("autoscale: -max %d below -min %d", *autoMax, *autoMin)
+		}
+		cfg.opts.AutoMin = *autoMin
+		cfg.opts.AutoMax = *autoMax
+		cfg.opts.AutoAdmission = *autoAdmission
+		cfg.opts.AutoScaleOn = *autoScaleOn
+		cfg.opts.FleetDevices = *devices
+		cfg.opts.FleetQPS = *qps
 	}
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -506,6 +557,7 @@ commands:
   all [flags]          run the full suite
   fleet [flags]        route open-loop traffic across a heterogeneous fleet
   sessions [flags]     multi-turn agentic serving with prefix KV caching
+  autoscale [flags]    elastic replica pool + ingress admission disciplines
   sweep <id> [flags]   fan one experiment across seeds (variance estimation)
 
 flags:
@@ -520,11 +572,16 @@ flags:
   -memprofile F write a heap profile at exit to F
   -seeds LIST   comma-separated seeds (sweep only; default 1..8)
   -replicas N   fleet size (fleet only; default 4)
-  -devices L    device cycle, e.g. orin,orin-50w (fleet only)
+  -devices L    device cycle, e.g. orin,orin-50w (fleet and autoscale)
   -policy P     fleet: round-robin | least-queue | latency-weighted | deadline-aware | all
                 sessions: round-robin | least-queue | session-affinity | all
-  -qps Q        offered load in requests/s (fleet only; default 2.0)
+  -qps Q        offered load in requests/s (fleet: default 2.0;
+                autoscale: background load, default 0.2, spike is 100x)
   -sessions N   concurrent sessions (sessions only; default 10)
   -turns N      agent-loop turns per session (sessions only; default 5)
-  -branch N     parallel think samples at branch turns (sessions only; default 2)`)
+  -branch N     parallel think samples at branch turns (sessions only; default 2)
+  -min N        autoscale pool floor (autoscale only; default 1)
+  -max N        autoscale pool ceiling (autoscale only; default 6)
+  -admission D  autoscale: fifo | edf | sjf | shed (default fifo)
+  -scale-on S   autoscale: depth | miss | both (default both)`)
 }

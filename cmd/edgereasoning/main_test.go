@@ -133,6 +133,47 @@ func TestSessionsSubcommandRejectsBadFlags(t *testing.T) {
 	}
 }
 
+func TestAutoscaleSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"autoscale", "-quick", "-min", "1", "-max", "4",
+		"-admission", "shed", "-scale-on", "depth", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"autoscale.csv", "autoscale-events.csv",
+		"autoscale-admission.csv", "autoscale-verify.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing %s: %v", want, err)
+		}
+	}
+}
+
+func TestAutoscaleSubcommandRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"autoscale", "-admission", "lifo"}); err == nil {
+		t.Error("unknown admission discipline must fail before engines spin up")
+	}
+	if err := run([]string{"autoscale", "-scale-on", "vibes"}); err == nil {
+		t.Error("unknown scale signal must fail before engines spin up")
+	}
+	if err := run([]string{"autoscale", "-devices", "tpu"}); err == nil {
+		t.Error("unknown device must fail before engines spin up")
+	}
+	if err := run([]string{"autoscale", "-min", "4", "-max", "2"}); err == nil {
+		t.Error("-max below -min must be rejected")
+	}
+	if err := run([]string{"autoscale", "-min", "-1"}); err == nil {
+		t.Error("negative bounds must be rejected")
+	}
+	if err := run([]string{"autoscale", "-seeds", "1,2"}); err == nil {
+		t.Error("-seeds must be rejected on autoscale")
+	}
+	if err := run([]string{"run", "qps", "-admission", "shed"}); err == nil {
+		t.Error("autoscale flags must not leak into run")
+	}
+	if err := run([]string{"fleet", "-max", "4"}); err == nil {
+		t.Error("autoscale flags must not leak into fleet")
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"run", "fig999"}); err == nil {
 		t.Error("unknown experiment must fail")

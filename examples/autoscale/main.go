@@ -1,0 +1,115 @@
+// Elastic fleet serving: the ROADMAP's autoscaling and ingress-admission
+// items in one walkthrough. A bursty stream — a background trickle with
+// a sharp spike two minutes in — is served by a fixed single replica,
+// by a fixed pool sized to the elastic run's average bill, and by an
+// autoscaled pool that provisions cold replicas on queue pressure and
+// retires them when idle. A second drill overloads a fixed pool and
+// compares the ingress admission disciplines, where shedding hopeless
+// deadline work beats serving it late.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"edgereasoning/internal/fleet"
+	"edgereasoning/internal/model"
+	"edgereasoning/internal/workload"
+)
+
+func main() {
+	const seed = 7
+	spec := model.MustLookup(model.Qwen25_1_5Bit)
+	devices := fleet.DefaultDevices()
+
+	background := workload.InteractiveAssistant(0.2, 50)
+	background.DeadlineSlack = 3
+	background.DeadlineSlackMax = 8
+	spike := workload.InteractiveAssistant(20, 120)
+	spike.DeadlineSlack = 3
+	spike.DeadlineSlackMax = 8
+	reqs, err := workload.Bursty(background, spike, 120, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Workload: %d requests — 0.2 QPS background, 20 QPS spike at t=120s, 3-8s slack\n\n", len(reqs))
+
+	serve := func(n int, auto *fleet.AutoscaleConfig) fleet.Metrics {
+		m, err := fleet.Serve(fleet.Config{
+			Replicas:  fleet.HeterogeneousReplicas(n, devices, spec),
+			Policy:    fleet.DeadlineAware,
+			Autoscale: auto,
+		}, reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+
+	auto := &fleet.AutoscaleConfig{
+		Min: 1, Max: 6,
+		Spec: spec, Devices: devices,
+		ColdStart:       2,
+		DepthPerReplica: 2,
+		IdleRetire:      10,
+		Cooldown:        0.5,
+	}
+	elastic := serve(1, auto)
+
+	fmt.Println("Autoscaler timeline (scale up on queue depth / deadline pressure, down on idle):")
+	for _, ev := range elastic.ScaleEvents {
+		dir := "▼ retire"
+		if ev.Up {
+			dir = "▲ provision"
+		}
+		fmt.Printf("  t=%6.1fs  %-11s %-32s live=%d (%s)\n", ev.Time, dir, ev.Replica, ev.Live, ev.Reason)
+	}
+
+	avg := elastic.ReplicaSeconds / elastic.WallTime
+	eqN := int(math.Ceil(avg))
+	if eqN < 1 {
+		eqN = 1
+	}
+	fmt.Printf("\nElastic bill: %.0f replica-seconds over %.0fs wall (average %.1f replicas, peak %d)\n\n",
+		elastic.ReplicaSeconds, elastic.WallTime, avg, elastic.PeakReplicas)
+
+	fmt.Println("pool              replicas   p50(s)  p99(s)  hit-rate  replica-s")
+	fmt.Println("----              --------   ------  ------  --------  ---------")
+	rowFor := func(name, replicas string, m fleet.Metrics, bill float64) {
+		fmt.Printf("%-16s  %-9s  %6.2f  %6.2f  %7.1f%%  %9.0f\n",
+			name, replicas, m.P50Latency, m.P99Latency, m.HitRate()*100, bill)
+	}
+	floor := serve(1, nil)
+	fixed := serve(eqN, nil)
+	rowFor("fixed-floor", "1", floor, floor.WallTime)
+	rowFor("fixed-equal", fmt.Sprint(eqN), fixed, float64(eqN)*fixed.WallTime)
+	rowFor("autoscaled", "1..6", elastic, elastic.ReplicaSeconds)
+
+	// Overload drill: a fixed two-replica pool at 2x its capacity, under
+	// each ingress admission discipline. FIFO blocks the head and serves
+	// everything late; EDF and SJF reorder the waiting set; shed drops
+	// certain-miss work at the door so the rest can still make it.
+	overload := workload.InteractiveAssistant(6, 150)
+	overload.DeadlineSlack = 2
+	overload.DeadlineSlackMax = 6
+	oreqs, err := workload.Generate(overload, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nOverload drill: %d requests at 6 QPS on a fixed 2-replica pool (2-6s slack)\n\n", len(oreqs))
+	fmt.Println("admission  served  shed  p99(s)  hit-rate")
+	fmt.Println("---------  ------  ----  ------  --------")
+	for _, a := range fleet.Admissions() {
+		m, err := fleet.Serve(fleet.Config{
+			Replicas:  fleet.HeterogeneousReplicas(2, devices, spec),
+			Policy:    fleet.LeastQueue,
+			Admission: a,
+		}, oreqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s  %6d  %4d  %6.2f  %7.1f%%\n",
+			a, m.Served, m.Shed, m.P99Latency, m.HitRate()*100)
+	}
+}

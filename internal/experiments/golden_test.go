@@ -13,13 +13,15 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // TestGoldenReports locks byte-exact renderings of representative
 // drivers at the default seed: the scheduler comparison (guarding the
 // deterministic-report fix), the fleet sweep (guarding its verify table,
-// including its pass marks), and the session study (guarding the
+// including its pass marks), the session study (guarding the
 // prefix-cache wins — warm TTFT, saved prefill, affinity hit rate — as
-// rendered pass marks). Regenerate intentionally with
+// rendered pass marks), and the autoscale study (guarding the elastic-
+// vs-fixed and shed-vs-FIFO verify marks plus the scale-event
+// timeline). Regenerate intentionally with
 //
 //	go test ./internal/experiments -run TestGoldenReports -update
 func TestGoldenReports(t *testing.T) {
-	for _, id := range []string{"sched", "fleet", "sessions"} {
+	for _, id := range []string{"sched", "fleet", "sessions", "autoscale"} {
 		t.Run(id, func(t *testing.T) {
 			tables, err := Run(id, Options{Seed: 7, Quick: true})
 			if err != nil {

@@ -29,6 +29,15 @@ type Options struct {
 	FleetQPS      float64 // offered load (default 2.0)
 	FleetDevices  string  // comma-separated device cycle (default heterogeneous Orin mix)
 
+	// Auto* parameterize the "autoscale" driver (the CLI's autoscale
+	// subcommand threads them through); zero values select the driver's
+	// defaults and other drivers ignore them. The driver also honors
+	// FleetQPS (background load) and FleetDevices (provision cycle).
+	AutoMin       int    // pool floor (default 1)
+	AutoMax       int    // pool ceiling (default 6)
+	AutoAdmission string // ingress discipline for the elastic run (default fifo)
+	AutoScaleOn   string // scale-up signals: depth, miss, or both (default both)
+
 	// Session* parameterize the "sessions" driver (the CLI's sessions
 	// subcommand threads them through); zero values select the driver's
 	// defaults and other drivers ignore them.

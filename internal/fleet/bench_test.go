@@ -1,0 +1,51 @@
+package fleet
+
+import (
+	"testing"
+
+	"edgereasoning/internal/workload"
+)
+
+// BenchmarkAutoscaleServe measures the elastic serving path end to end:
+// ingress dispatch with shedding, burst-driven provisioning (engine
+// construction and probe calibration included, as a real scale-up would
+// pay), idle retirement, and the concurrent replica drain. Frozen into
+// BENCH_serve.json and gated on allocs/op by scripts/bench.sh.
+func BenchmarkAutoscaleServe(b *testing.B) {
+	background := workload.InteractiveAssistant(0.3, 20)
+	background.DeadlineSlack = 3
+	background.DeadlineSlackMax = 8
+	spike := workload.InteractiveAssistant(10, 60)
+	spike.DeadlineSlack = 3
+	spike.DeadlineSlackMax = 8
+	reqs, err := workload.Bursty(background, spike, 30, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func() Config {
+		cfg := homogeneousFleet(1, DeadlineAware)
+		cfg.Admission = Shed
+		cfg.Autoscale = &AutoscaleConfig{
+			Min: 1, Max: 4,
+			Spec:            smallSpec(),
+			ColdStart:       2,
+			DepthPerReplica: 2,
+			IdleRetire:      10,
+			Cooldown:        0.5,
+		}
+		return cfg
+	}
+	var sink Metrics
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := Serve(mk(), reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = m
+	}
+	if sink.Served+sink.Dropped != len(reqs) {
+		b.Fatalf("conservation broke under the bench config: %d + %d != %d", sink.Served, sink.Dropped, len(reqs))
+	}
+}

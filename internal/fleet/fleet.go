@@ -9,16 +9,20 @@
 // The router works on calibrated estimates (a batch-1 probe of each
 // replica's prefill and decode rates) while the replicas execute on the
 // exact simulator, mirroring a real load balancer that routes on cheap
-// health signals rather than ground truth. Admission is a global FIFO
-// queue with per-replica capacity: when every routable replica is at
-// capacity, the stream head waits (head-of-line blocking, as a real
-// shared ingress queue would) and later requests queue behind it.
+// health signals rather than ground truth. Admission is a shared ingress
+// queue with per-replica capacity and a pluggable discipline
+// (Config.Admission): the default FIFO blocks the stream head when every
+// routable replica is at capacity, while EDF and SJF reorder the waiting
+// set and Shed drops hopeless deadline work instead of serving it late.
+// An optional autoscaler (Config.Autoscale) grows and shrinks the
+// replica pool on ingress pressure, paying modeled cold starts.
 package fleet
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 
 	"edgereasoning/internal/engine"
@@ -44,6 +48,13 @@ type ReplicaConfig struct {
 	// FailAt, when positive, makes the replica unroutable at and after
 	// this simulated time. Requests routed earlier still complete (a
 	// drain-style failure, not a crash).
+	//
+	// The boundary with WarmupDelay is deliberate and relied on by the
+	// autoscaler's warm-up accounting: routability requires
+	// t >= WarmupDelay and t < FailAt, so a replica with
+	// FailAt <= WarmupDelay is dead at birth — there is no instant at
+	// which it can take a request, even when the two are exactly equal.
+	// Only FailAt > WarmupDelay opens a routable window.
 	FailAt float64
 }
 
@@ -64,6 +75,13 @@ func (rc ReplicaConfig) withDefaults(i int) ReplicaConfig {
 type Config struct {
 	Replicas []ReplicaConfig
 	Policy   Policy
+	// Admission selects the ingress-queue discipline. The zero value
+	// (FIFO) preserves the historical head-of-line-blocking behavior.
+	Admission Admission
+	// Autoscale, when non-nil, lets the pool grow and shrink between
+	// the configured bounds on ingress pressure. Nil keeps the replica
+	// set fixed.
+	Autoscale *AutoscaleConfig
 	// PrefixCache builds every replica engine with a cross-request prefix
 	// KV cache, so session-tagged streams reuse their history on whichever
 	// replica holds it (see Policy SessionAffinity).
@@ -82,16 +100,25 @@ type ReplicaMetrics struct {
 	// decode double-counts overlap, so compare it across replicas, not
 	// against wall time.
 	BusyTime float64
+	// ProvisionedAt is when the replica joined the pool (0 for the
+	// initial set); RetiredAt is when the autoscaler drained it out
+	// (0 when it stayed in the pool to the end).
+	ProvisionedAt float64
+	RetiredAt     float64
 }
 
 // Metrics aggregates a fleet run.
 type Metrics struct {
 	Policy   Policy
 	Replicas []ReplicaMetrics
-	// Served counts completed requests; Dropped counts requests no
-	// replica could ever take (all failed or never warm).
+	// Served counts completed requests; Dropped counts requests that
+	// never reached a replica — either no replica could ever take them
+	// (all failed or never warm) or the Shed admission discipline
+	// dropped them as hopeless. Shed is the subset of Dropped removed
+	// by deadline shedding.
 	Served  int
 	Dropped int
+	Shed    int
 	// Fleet-wide latency distribution over all completions.
 	P50Latency  float64
 	P95Latency  float64
@@ -107,6 +134,16 @@ type Metrics struct {
 	// Imbalance is the coefficient of variation of per-replica BusyTime:
 	// 0 is a perfectly even spread, higher means hot spots.
 	Imbalance float64
+	// Autoscale accounting (zero without Config.Autoscale). ScaleEvents
+	// is the pool-change log in time order; PeakReplicas the largest
+	// live pool; ReplicaSeconds sums each replica's provisioned span
+	// (provision to retirement, failure, or wall), the elastic pool's
+	// resource bill for equal-cost comparisons against fixed pools.
+	ScaleEvents    []ScaleEvent
+	ScaleUps       int
+	ScaleDowns     int
+	PeakReplicas   int
+	ReplicaSeconds float64
 	// Prefix-cache accounting summed over replicas (zero without
 	// Config.PrefixCache or without PromptSyms on the stream).
 	PrefixLookups      int
@@ -151,6 +188,40 @@ type replica struct {
 	finishes  []float64
 	estFreeAt float64
 	wrrCredit float64
+	// Autoscaler lifecycle: provisionedAt is when the replica joined the
+	// pool; idleFrom estimates when its backlog drains (the idle timer's
+	// start); retired marks an autoscaler drain at retiredAt.
+	provisionedAt float64
+	idleFrom      float64
+	retired       bool
+	retiredAt     float64
+}
+
+// newReplica builds the engine pair (serving + calibration probe) for
+// one replica config.
+func newReplica(rc ReplicaConfig, prefixCache bool) (*replica, error) {
+	eng, err := engine.New(engine.Config{Spec: rc.Spec, Device: rc.Device, PrefixCache: prefixCache})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: replica %s: %w", rc.Name, err)
+	}
+	// Calibrate the router's service-time estimate with a scratch
+	// engine so the serving engine's clock stays at zero.
+	probe, err := engine.New(engine.Config{Spec: rc.Spec, Device: rc.Device})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: replica %s: %w", rc.Name, err)
+	}
+	const probePrompt, probeOut = 256, 128
+	pm, err := probe.Generate(engine.Request{ID: "probe", PromptTokens: probePrompt, OutputTokens: probeOut})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: replica %s probe: %w", rc.Name, err)
+	}
+	return &replica{
+		cfg:           rc,
+		eng:           eng,
+		prefillPerTok: pm.PrefillTime / probePrompt,
+		decodePerTok:  pm.DecodeTime / probeOut,
+		delays:        map[string]float64{},
+	}, nil
 }
 
 // estService estimates the batch-1 service time of a request.
@@ -169,12 +240,16 @@ func (r *replica) speed() float64 {
 }
 
 // routableAt reports whether the router may hand the replica a request
-// at time t (warm and not failed); capacity is checked separately.
+// at time t (warm, not failed, not retired); capacity is checked
+// separately.
 func (r *replica) routableAt(t float64) bool {
 	if t < r.cfg.WarmupDelay {
 		return false
 	}
 	if r.cfg.FailAt > 0 && t >= r.cfg.FailAt {
+		return false
+	}
+	if r.retired {
 		return false
 	}
 	return true
@@ -191,6 +266,7 @@ func (r *replica) depth(t float64) int {
 func (r *replica) take(tr engine.TimedRequest, t float64) {
 	est := math.Max(r.estFreeAt, t) + r.estService(tr)
 	r.estFreeAt = est
+	r.idleFrom = est
 	i := sort.SearchFloat64s(r.finishes, est)
 	r.finishes = append(r.finishes, 0)
 	copy(r.finishes[i+1:], r.finishes[i:])
@@ -207,29 +283,15 @@ func Serve(cfg Config, reqs []engine.TimedRequest) (Metrics, error) {
 	}
 	replicas := make([]*replica, len(cfg.Replicas))
 	for i, rc := range cfg.Replicas {
-		rc = rc.withDefaults(i)
-		eng, err := engine.New(engine.Config{Spec: rc.Spec, Device: rc.Device, PrefixCache: cfg.PrefixCache})
+		r, err := newReplica(rc.withDefaults(i), cfg.PrefixCache)
 		if err != nil {
-			return Metrics{}, fmt.Errorf("fleet: replica %s: %w", rc.Name, err)
+			return Metrics{}, err
 		}
-		// Calibrate the router's service-time estimate with a scratch
-		// engine so the serving engine's clock stays at zero.
-		probe, err := engine.New(engine.Config{Spec: rc.Spec, Device: rc.Device})
-		if err != nil {
-			return Metrics{}, fmt.Errorf("fleet: replica %s: %w", rc.Name, err)
-		}
-		const probePrompt, probeOut = 256, 128
-		pm, err := probe.Generate(engine.Request{ID: "probe", PromptTokens: probePrompt, OutputTokens: probeOut})
-		if err != nil {
-			return Metrics{}, fmt.Errorf("fleet: replica %s probe: %w", rc.Name, err)
-		}
-		replicas[i] = &replica{
-			cfg:           rc,
-			eng:           eng,
-			prefillPerTok: pm.PrefillTime / probePrompt,
-			decodePerTok:  pm.DecodeTime / probeOut,
-			delays:        map[string]float64{},
-		}
+		replicas[i] = r
+	}
+	as, err := newAutoscaler(cfg.Autoscale, len(replicas), cfg.PrefixCache)
+	if err != nil {
+		return Metrics{}, err
 	}
 
 	stream := make([]engine.TimedRequest, len(reqs))
@@ -242,30 +304,12 @@ func Serve(cfg Config, reqs []engine.TimedRequest) (Metrics, error) {
 	var out Metrics
 	out.Policy = cfg.Policy
 	router := &router{replicas: replicas, policy: cfg.Policy}
-	for _, tr := range stream {
-		// Global FIFO queue: a request cannot be dispatched before the
-		// one ahead of it (head-of-line blocking under full admission).
-		t := math.Max(tr.Arrival, router.lastDispatch)
-		r, admitAt, ok := router.place(tr, t)
-		if !ok {
-			out.Dropped++
-			if tr.Deadline > 0 {
-				out.DeadlinesTotal++
-			}
-			continue
-		}
-		// The engine sees the dispatch time as the arrival; the wait in
-		// the global queue is re-added to the request's latency below.
-		adjusted := tr
-		adjusted.Arrival = admitAt
-		if admitAt > tr.Arrival {
-			r.delays[tr.ID] = admitAt - tr.Arrival
-		}
-		r.take(adjusted, admitAt)
-		router.lastDispatch = admitAt
+	if err := dispatch(router, as, cfg.Admission, stream, &out); err != nil {
+		return out, err
 	}
+	replicas = router.replicas // the autoscaler may have grown the pool
 
-	discipline := cfg.Policy.LocalDiscipline()
+	discipline := cfg.Admission.localDiscipline(cfg.Policy)
 	var latencies []float64
 	var busy []float64
 	// The replicas' sub-streams are independent once routed, so their
@@ -307,11 +351,13 @@ func Serve(cfg Config, reqs []engine.TimedRequest) (Metrics, error) {
 			}
 		}
 		rm := ReplicaMetrics{
-			Name:         r.cfg.Name,
-			Device:       r.cfg.Device.Name,
-			Model:        string(r.cfg.Spec.ID),
-			Assigned:     len(r.assigned),
-			ServeMetrics: sm,
+			Name:          r.cfg.Name,
+			Device:        r.cfg.Device.Name,
+			Model:         string(r.cfg.Spec.ID),
+			Assigned:      len(r.assigned),
+			ServeMetrics:  sm,
+			ProvisionedAt: r.provisionedAt,
+			RetiredAt:     r.retiredAt,
 		}
 		for _, m := range sm.Requests {
 			rm.BusyTime += m.TotalTime()
@@ -337,7 +383,136 @@ func Serve(cfg Config, reqs []engine.TimedRequest) (Metrics, error) {
 		out.P50Latency, out.P95Latency, out.P99Latency = p[0], p[1], p[2]
 	}
 	out.Imbalance = imbalance(busy)
+	if as != nil {
+		foldAutoscale(&out, router, as)
+	}
 	return out, nil
+}
+
+// dispatch routes the sorted stream through the ingress queue: requests
+// enter the shared queue as the clock passes their arrivals, and
+// whenever a replica can accept work the admission discipline picks
+// which waiting request goes next. The dispatch clock is monotone — a
+// request is never dispatched before an earlier decision's time.
+func dispatch(ro *router, as *autoscaler, admission Admission, stream []engine.TimedRequest, out *Metrics) error {
+	q := &ingress{discipline: admission}
+	drop := func(tr engine.TimedRequest) {
+		out.Dropped++
+		if tr.Deadline > 0 {
+			out.DeadlinesTotal++
+		}
+	}
+	shed := func(tr engine.TimedRequest) {
+		out.Shed++
+		drop(tr)
+	}
+
+	i := 0 // next stream index not yet in the queue
+	now := 0.0
+	for i < len(stream) || q.len() > 0 {
+		if q.len() == 0 && stream[i].Arrival > now {
+			now = stream[i].Arrival
+		}
+		for i < len(stream) && stream[i].Arrival <= now {
+			q.push(stream[i])
+			i++
+		}
+		if as != nil {
+			if err := as.observe(ro, q, now); err != nil {
+				return err
+			}
+		}
+		t, ok := ro.nextFree(now)
+		if !ok {
+			// Permanent outage: every replica is dead for good, with no
+			// warm-ups pending. An autoscaler below Max revives the pool
+			// with an emergency provision (ignoring cooldown); otherwise
+			// nothing can, so drop the rest of the stream in O(1) per
+			// request instead of rescanning the replicas for each one.
+			if as != nil && ro.liveCount(now) < as.cfg.Max {
+				if err := as.provision(ro, now, "outage"); err != nil {
+					return err
+				}
+				continue
+			}
+			q.drain(drop)
+			for ; i < len(stream); i++ {
+				drop(stream[i])
+			}
+			return nil
+		}
+		// Arrivals during the capacity wait join the queue before the
+		// discipline picks, so a reordering ingress sees everything that
+		// is actually waiting at dispatch time.
+		for i < len(stream) && stream[i].Arrival <= t {
+			q.push(stream[i])
+			i++
+		}
+		if admission == Shed {
+			q.dropLate(t, shed)
+			if q.len() == 0 {
+				now = t
+				continue
+			}
+		}
+		tr := q.take(q.pick())
+		if admission == Shed && tr.Deadline > 0 && t+ro.bestService(tr, t) > tr.Deadline {
+			// Even starting immediately on the fastest replica that could
+			// take it, the batch-1 service time alone overruns the
+			// deadline — a certain miss. Shed it and keep the capacity
+			// for work that can still make it, before the routing policy
+			// mutates any state for a request that never dispatches. (The
+			// serial backlog horizon is deliberately not consulted: it
+			// overestimates completion under batched decode and would
+			// shed feasible work.)
+			shed(tr)
+			now = t
+			continue
+		}
+		r := ro.chooseAt(tr, t)
+		// The engine sees the dispatch time as the arrival; the wait in
+		// the shared queue is re-added to the request's latency later.
+		adjusted := tr
+		adjusted.Arrival = t
+		if t > tr.Arrival {
+			r.delays[tr.ID] = t - tr.Arrival
+		}
+		r.take(adjusted, t)
+		now = t
+	}
+	return nil
+}
+
+// foldAutoscale finalizes the elastic-pool accounting: retire remaining
+// idle replicas for billing purposes, then fold the event log and
+// replica-seconds into the metrics.
+func foldAutoscale(out *Metrics, ro *router, as *autoscaler) {
+	as.retireIdle(ro, math.Inf(1))
+	out.ScaleEvents = as.events
+	out.PeakReplicas = as.peak
+	for _, ev := range as.events {
+		if ev.Up {
+			out.ScaleUps++
+		} else {
+			out.ScaleDowns++
+		}
+	}
+	for i, r := range ro.replicas {
+		end := out.WallTime
+		switch {
+		case r.retired:
+			end = r.retiredAt
+		case r.cfg.FailAt > 0 && r.cfg.FailAt < end:
+			end = r.cfg.FailAt
+		}
+		if end < r.provisionedAt {
+			end = r.provisionedAt
+		}
+		out.ReplicaSeconds += end - r.provisionedAt
+		if r.retired {
+			out.Replicas[i].RetiredAt = r.retiredAt
+		}
+	}
 }
 
 // imbalance is the population coefficient of variation.
@@ -357,40 +532,43 @@ func imbalance(xs []float64) float64 {
 	return math.Sqrt(ss/float64(len(xs))) / mean
 }
 
+// trimLower normalizes a CLI spelling.
+func trimLower(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
 // router owns the dispatch-time state shared across requests.
 type router struct {
-	replicas     []*replica
-	policy       Policy
-	rrNext       int
-	lastDispatch float64
+	replicas []*replica
+	policy   Policy
+	rrNext   int
 	// sticky maps a session ID to the replica index its turns are pinned
 	// to (SessionAffinity only; re-pinned on fallback), and pinned counts
 	// sessions per replica so new sessions spread instead of piling onto
 	// the lowest index while queues are momentarily empty.
 	sticky map[string]int
 	pinned []int
+	// scratch backs the candidate list between dispatches.
+	scratch []int
 }
 
-// place finds the replica and admission time for tr: at time t if a
-// routable replica has capacity, else at the earliest moment one frees
-// up or warms up. ok is false when no replica can ever take the request.
-func (ro *router) place(tr engine.TimedRequest, t float64) (*replica, float64, bool) {
+// nextFree returns the earliest time >= t at which some replica can
+// accept a dispatch (routable with spare capacity), pruning completed
+// work as it scans. ok is false when no replica will ever accept again —
+// a permanent outage.
+func (ro *router) nextFree(t float64) (float64, bool) {
 	for {
-		var candidates []int
-		for i, r := range ro.replicas {
+		for _, r := range ro.replicas {
 			if r.routableAt(t) && r.depth(t) < r.cfg.Capacity {
-				candidates = append(candidates, i)
+				return t, true
 			}
 		}
-		if len(candidates) > 0 {
-			return ro.replicas[ro.choose(candidates, tr, t)], t, true
-		}
-		// Everyone is full, cold, or dead: advance to the next time a
-		// replica could accept — its earliest outstanding completion, or
-		// the end of its warm-up.
+		// Everyone is full, cold, dead, or retired: advance to the next
+		// time a replica could accept — its earliest outstanding
+		// completion, or the end of its warm-up.
 		next := math.Inf(1)
 		for _, r := range ro.replicas {
 			switch {
+			case r.retired:
+				// Drained out of the pool for good.
 			case r.cfg.FailAt > 0 && t >= r.cfg.FailAt:
 				// Dead for good.
 			case t < r.cfg.WarmupDelay:
@@ -405,9 +583,66 @@ func (ro *router) place(tr engine.TimedRequest, t float64) (*replica, float64, b
 			}
 		}
 		if math.IsInf(next, 1) {
-			return nil, 0, false
+			return 0, false
 		}
 		t = next
+	}
+}
+
+// bestService is the fastest batch-1 service estimate among replicas
+// that could take the request at t — the certain-miss lower bound the
+// Shed discipline tests against. It mutates nothing but the idempotent
+// completed-work pruning in depth.
+func (ro *router) bestService(tr engine.TimedRequest, t float64) float64 {
+	best := math.Inf(1)
+	for _, r := range ro.replicas {
+		if r.routableAt(t) && r.depth(t) < r.cfg.Capacity {
+			if s := r.estService(tr); s < best {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+// idleReplicas counts replicas that could start a request immediately —
+// routable with an empty backlog — at time t.
+func (ro *router) idleReplicas(t float64) int {
+	n := 0
+	for _, r := range ro.replicas {
+		if r.routableAt(t) && r.depth(t) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// chooseAt applies the routing policy at time t, when at least one
+// replica is known to have capacity (nextFree said so).
+func (ro *router) chooseAt(tr engine.TimedRequest, t float64) *replica {
+	ro.scratch = ro.scratch[:0]
+	for i, r := range ro.replicas {
+		if r.routableAt(t) && r.depth(t) < r.cfg.Capacity {
+			ro.scratch = append(ro.scratch, i)
+		}
+	}
+	return ro.replicas[ro.choose(ro.scratch, tr, t)]
+}
+
+// purge drops sticky-session pins to a replica leaving the pool, so the
+// session map cannot accumulate entries for replicas the autoscaler has
+// retired. Displaced sessions re-pin on their next turn.
+func (ro *router) purge(idx int) {
+	if ro.sticky == nil {
+		return
+	}
+	for sid, p := range ro.sticky {
+		if p == idx {
+			delete(ro.sticky, sid)
+		}
+	}
+	if idx < len(ro.pinned) {
+		ro.pinned[idx] = 0
 	}
 }
 
@@ -441,7 +676,10 @@ func (ro *router) choose(candidates []int, tr engine.TimedRequest, t float64) in
 		}
 		if ro.sticky == nil {
 			ro.sticky = make(map[string]int)
-			ro.pinned = make([]int, len(ro.replicas))
+		}
+		// The autoscaler can have grown the pool since the last pin.
+		for len(ro.pinned) < len(ro.replicas) {
+			ro.pinned = append(ro.pinned, 0)
 		}
 		best := candidates[0]
 		for _, i := range candidates[1:] {

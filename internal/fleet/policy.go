@@ -2,7 +2,6 @@ package fleet
 
 import (
 	"fmt"
-	"strings"
 
 	"edgereasoning/internal/engine"
 )
@@ -74,7 +73,7 @@ func (p Policy) LocalDiscipline() engine.SchedPolicy {
 // ParsePolicy resolves a CLI spelling to a Policy. Accepted names are the
 // String() forms plus the shorthands rr, lq, latency, deadline, and sa.
 func ParsePolicy(s string) (Policy, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
+	switch trimLower(s) {
 	case "round-robin", "roundrobin", "rr":
 		return RoundRobin, nil
 	case "least-queue", "leastqueue", "lq":

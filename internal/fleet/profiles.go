@@ -12,7 +12,7 @@ import (
 // power-capped variants are derived with hw.ApplyPowerMode, so their
 // compute, bandwidth, and power envelopes all derate together.
 func DeviceByName(name string) (*hw.Device, error) {
-	key := strings.ToLower(strings.TrimSpace(name))
+	key := trimLower(name)
 	switch key {
 	case "orin", "orin-maxn", "agx-orin":
 		return hw.JetsonAGXOrin64GB(), nil

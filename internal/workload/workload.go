@@ -9,6 +9,7 @@ package workload
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"edgereasoning/internal/engine"
 	"edgereasoning/internal/stats"
@@ -99,6 +100,43 @@ func Generate(p Profile, seed uint64) ([]engine.TimedRequest, error) {
 		}
 		out[i] = tr
 	}
+	return out, nil
+}
+
+// Bursty synthesizes a steady background stream with a traffic spike
+// riding on top: the background profile runs from t=0 while the burst
+// profile's requests (arrivals and deadlines both) are shifted to start
+// at burstStart. IDs are prefixed "s" (steady) and "b" (burst) so the
+// merged stream stays collision-free, and the result is sorted by
+// arrival. This is the elastic-pool stress shape: a fixed fleet sized
+// for the background drowns in the burst, one sized for the burst idles
+// the rest of the time.
+func Bursty(background, burst Profile, burstStart float64, seed uint64) ([]engine.TimedRequest, error) {
+	if math.IsNaN(burstStart) || math.IsInf(burstStart, 0) || burstStart < 0 {
+		return nil, fmt.Errorf("workload: burst start must be finite and non-negative")
+	}
+	steady, err := Generate(background, seed)
+	if err != nil {
+		return nil, fmt.Errorf("workload: background: %w", err)
+	}
+	spike, err := Generate(burst, seed^0x9e3779b97f4a7c15)
+	if err != nil {
+		return nil, fmt.Errorf("workload: burst: %w", err)
+	}
+	out := make([]engine.TimedRequest, 0, len(steady)+len(spike))
+	for _, tr := range steady {
+		tr.ID = "s" + tr.ID
+		out = append(out, tr)
+	}
+	for _, tr := range spike {
+		tr.ID = "b" + tr.ID
+		tr.Arrival += burstStart
+		if tr.Deadline > 0 {
+			tr.Deadline += burstStart
+		}
+		out = append(out, tr)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
 	return out, nil
 }
 

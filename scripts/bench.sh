@@ -2,19 +2,22 @@
 # bench.sh — run the perf-trajectory benchmarks and maintain BENCH_serve.json.
 #
 #   scripts/bench.sh            # regression gate: fail if allocs/op regressed
-#   scripts/bench.sh update     # re-measure and rewrite the "current" section
+#   scripts/bench.sh update     # re-measure, rewrite "current", append history
 #
 # Environment:
 #   BENCHTIME   go test -benchtime value (default 2s; CI smoke uses 1x)
 #
 # The tracked targets are the serving hot loop (engine.Serve / engine.Run
 # over a long-generation open-loop stream), the session-serving loop
-# (multi-turn agentic stream, warm prefix cache vs cold), and the
-# KV-cache append paths (bulk handle-based vs per-token). Only allocs/op
-# is gated — it is
-# deterministic across machines — while ns/op is recorded for the
-# before/after table in the README. The pre-optimization reference in
-# BENCH_serve.json's "pre_pr" section is preserved across updates.
+# (multi-turn agentic stream, warm prefix cache vs cold), the KV-cache
+# append paths (bulk handle-based vs per-token), and the elastic-fleet
+# serving path (fleet.Serve with autoscaling and shed admission). Only
+# allocs/op is gated — it is deterministic across machines — while ns/op
+# is recorded for the before/after table in the README. The
+# pre-optimization reference in BENCH_serve.json's "pre_pr" section is
+# preserved across updates, and each update also appends a per-PR
+# "history" entry tagged with the commit the measurement was taken at,
+# so the cross-PR perf trajectory stays machine-readable.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -26,11 +29,24 @@ run_benches() {
     -benchmem -benchtime "$BENCHTIME" -count 1 ./internal/engine
   go test -run '^$' -bench 'BenchmarkKVAppend$|BenchmarkKVAppendToken$' \
     -benchmem -benchtime "$BENCHTIME" -count 1 ./internal/kvcache
+  go test -run '^$' -bench 'BenchmarkAutoscaleServe$' \
+    -benchmem -benchtime "$BENCHTIME" -count 1 ./internal/fleet
 }
 
 case "$MODE" in
   update)
-    run_benches | tee /dev/stderr | go run ./cmd/benchcheck -baseline BENCH_serve.json -update
+    # Tag the history entry with the tree actually measured: a dirty
+    # working tree (modified OR untracked files) gets a "-dirty" suffix
+    # so a pre-commit measurement can never overwrite the previous PR's
+    # frozen clean-tree entry (benchcheck dedupes history by this tag).
+    # Run update again after committing to record the stable point.
+    COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+      COMMIT="${COMMIT}-dirty"
+    fi
+    DATE="$(date -u +%Y-%m-%d)"
+    run_benches | tee /dev/stderr | go run ./cmd/benchcheck -baseline BENCH_serve.json -update \
+      -commit "$COMMIT" -date "$DATE"
     ;;
   check)
     run_benches | tee /dev/stderr | go run ./cmd/benchcheck -baseline BENCH_serve.json
