@@ -69,7 +69,12 @@ type File struct {
 // benchLine matches one `go test -bench -benchmem` result row, e.g.
 //
 //	BenchmarkServeHotLoop-8   35095   97204 ns/op   32184 B/op   60 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op\s+([0-9]+) B/op\s+([0-9]+) allocs/op`)
+//
+// Custom b.ReportMetric columns land between ns/op and B/op
+// (alphabetical by unit), so the middle of the line is matched loosely:
+//
+//	BenchmarkSoakServe   1   1672420452 ns/op   8.121 live-heap-MB   1893551 sim-events/s   65732960 B/op   1999923 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op.*?\s([0-9]+) B/op\s+([0-9]+) allocs/op`)
 
 // parseBench extracts measurements from raw benchmark output.
 func parseBench(r io.Reader) (map[string]Measurement, error) {

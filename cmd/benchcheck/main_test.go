@@ -14,6 +14,7 @@ pkg: edgereasoning/internal/engine
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkServeHotLoop 	   35095	     97204 ns/op	   32184 B/op	      60 allocs/op
 BenchmarkRunHotLoop-8 	   79651	     45502.5 ns/op	   29640 B/op	      41 allocs/op
+BenchmarkSoakServe 	       1	1672420452 ns/op	         8.121 live-heap-MB	   1893551 sim-events/s	65732960 B/op	 1999923 allocs/op
 PASS
 ok  	edgereasoning/internal/engine	18.945s
 `
@@ -23,8 +24,8 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 2 {
-		t.Fatalf("parsed %d targets, want 2: %v", len(got), got)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d targets, want 3: %v", len(got), got)
 	}
 	serve := got["BenchmarkServeHotLoop"]
 	if serve.NsPerOp != 97204 || serve.BytesPerOp != 32184 || serve.AllocsPerOp != 60 {
@@ -34,6 +35,12 @@ func TestParseBench(t *testing.T) {
 	run := got["BenchmarkRunHotLoop"]
 	if run.NsPerOp != 45502.5 || run.AllocsPerOp != 41 {
 		t.Errorf("RunHotLoop = %+v", run)
+	}
+	// Custom b.ReportMetric columns between ns/op and B/op must not hide
+	// the allocation figures.
+	soak := got["BenchmarkSoakServe"]
+	if soak.NsPerOp != 1672420452 || soak.BytesPerOp != 65732960 || soak.AllocsPerOp != 1999923 {
+		t.Errorf("SoakServe = %+v", soak)
 	}
 }
 

@@ -9,6 +9,8 @@
 //	edgereasoning fleet [flags]        # heterogeneous-fleet serving sweep
 //	edgereasoning sessions [flags]     # multi-turn agentic serving study
 //	edgereasoning autoscale [flags]    # elastic fleet + ingress admission study
+//	edgereasoning saturate [flags]     # saturation-knee capacity analysis
+//	edgereasoning soak [flags]         # streamed large-N soak (sim-events/sec)
 //	edgereasoning sweep <id> [flags]   # fan one experiment across seeds
 //
 // Flags:
@@ -33,6 +35,9 @@
 //	-max N        autoscale pool ceiling (autoscale only; default 6)
 //	-admission D  ingress discipline: fifo | edf | sjf | shed (autoscale only)
 //	-scale-on S   scale-up signals: depth | miss | both (autoscale only)
+//	-slo X        saturate: p99 bound in seconds, or hitrate floor in [0,1]
+//	-metric M     saturate: p99 | hitrate (default p99)
+//	-requests N   saturate: requests per probe; soak: requests to stream (1e6)
 //
 // Experiments run on a worker pool but the report is emitted in registry
 // order, so output is byte-identical at any parallelism.
@@ -52,8 +57,12 @@ import (
 	"strings"
 	"time"
 
+	"edgereasoning/internal/engine"
 	"edgereasoning/internal/experiments"
 	"edgereasoning/internal/fleet"
+	"edgereasoning/internal/hw"
+	"edgereasoning/internal/model"
+	"edgereasoning/internal/workload"
 )
 
 func main() {
@@ -100,7 +109,7 @@ func run(args []string) error {
 		if len(rest) == 0 {
 			return fmt.Errorf("run: missing experiment id")
 		}
-		cfg, err := parseFlags(rest[1:], false, false, false)
+		cfg, err := parseFlags(rest[1:], false, false, false, false)
 		if err != nil {
 			return err
 		}
@@ -109,7 +118,7 @@ func run(args []string) error {
 		}
 		return execute([]string{rest[0]}, cfg)
 	case "all":
-		cfg, err := parseFlags(rest, false, false, false)
+		cfg, err := parseFlags(rest, false, false, false, false)
 		if err != nil {
 			return err
 		}
@@ -118,7 +127,7 @@ func run(args []string) error {
 		}
 		return execute(experiments.IDs(), cfg)
 	case "fleet":
-		cfg, err := parseFlags(rest, true, false, false)
+		cfg, err := parseFlags(rest, true, false, false, false)
 		if err != nil {
 			return err
 		}
@@ -127,7 +136,7 @@ func run(args []string) error {
 		}
 		return execute([]string{"fleet"}, cfg)
 	case "sessions":
-		cfg, err := parseFlags(rest, false, true, false)
+		cfg, err := parseFlags(rest, false, true, false, false)
 		if err != nil {
 			return err
 		}
@@ -136,7 +145,7 @@ func run(args []string) error {
 		}
 		return execute([]string{"sessions"}, cfg)
 	case "autoscale":
-		cfg, err := parseFlags(rest, false, false, true)
+		cfg, err := parseFlags(rest, false, false, true, false)
 		if err != nil {
 			return err
 		}
@@ -144,11 +153,22 @@ func run(args []string) error {
 			return fmt.Errorf("autoscale: -seeds only applies to sweep (use -seed)")
 		}
 		return execute([]string{"autoscale"}, cfg)
+	case "saturate":
+		cfg, err := parseFlags(rest, false, false, false, true)
+		if err != nil {
+			return err
+		}
+		if cfg.seedsSet {
+			return fmt.Errorf("saturate: -seeds only applies to sweep (use -seed)")
+		}
+		return execute([]string{"saturate"}, cfg)
+	case "soak":
+		return soak(rest)
 	case "sweep":
 		if len(rest) == 0 {
 			return fmt.Errorf("sweep: missing experiment id")
 		}
-		cfg, err := parseFlags(rest[1:], false, false, false)
+		cfg, err := parseFlags(rest[1:], false, false, false, false)
 		if err != nil {
 			return err
 		}
@@ -165,9 +185,10 @@ func run(args []string) error {
 	}
 }
 
-// parseFlags parses the shared flag set; withFleet, withSessions, and
-// withAutoscale additionally register their subcommands' knobs.
-func parseFlags(args []string, withFleet, withSessions, withAutoscale bool) (config, error) {
+// parseFlags parses the shared flag set; withFleet, withSessions,
+// withAutoscale, and withSaturate additionally register their
+// subcommands' knobs.
+func parseFlags(args []string, withFleet, withSessions, withAutoscale, withSaturate bool) (config, error) {
 	fs := flag.NewFlagSet("edgereasoning", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 7, "random seed")
 	quick := fs.Bool("quick", false, "subsample large banks")
@@ -194,6 +215,15 @@ func parseFlags(args []string, withFleet, withSessions, withAutoscale bool) (con
 		sessionTurns = fs.Int("turns", 0, "agent-loop turns per session (0 = driver default of 5)")
 		sessionBranch = fs.Int("branch", 0, "parallel think samples at branch turns (0 = driver default of 2)")
 		sessionPolicy = fs.String("policy", "all", "affinity-table routing policy (round-robin, least-queue, session-affinity, all)")
+	}
+	var satSLO *float64
+	var satMetric *string
+	var satRequests *int
+	if withSaturate {
+		satSLO = fs.Float64("slo", 0, "objective: p99 bound in seconds or hit-rate floor in [0,1] (0 = metric default)")
+		satMetric = fs.String("metric", "", "saturation metric: p99 | hitrate (default p99)")
+		satRequests = fs.Int("requests", 0, "requests offered per probe (0 = driver default of 240)")
+		devices = fs.String("devices", "", "comma-separated device cycle (default orin,orin-50w,orin-30w)")
 	}
 	var autoMin, autoMax *int
 	var autoAdmission, autoScaleOn *string
@@ -249,6 +279,27 @@ func parseFlags(args []string, withFleet, withSessions, withAutoscale bool) (con
 		cfg.opts.SessionTurns = *sessionTurns
 		cfg.opts.SessionBranch = *sessionBranch
 		cfg.opts.SessionPolicy = *sessionPolicy
+	}
+	if withSaturate {
+		if *satMetric != "" && *satMetric != "p99" && *satMetric != "hitrate" {
+			return config{}, fmt.Errorf("saturate: unknown -metric %q (want p99 or hitrate)", *satMetric)
+		}
+		if *satSLO < 0 {
+			return config{}, fmt.Errorf("saturate: -slo must be non-negative")
+		}
+		if *satMetric == "hitrate" && *satSLO > 1 {
+			return config{}, fmt.Errorf("saturate: hitrate -slo is a fraction in [0,1], got %g", *satSLO)
+		}
+		if *satRequests < 0 {
+			return config{}, fmt.Errorf("saturate: -requests must be non-negative")
+		}
+		if _, err := fleet.ParseDevices(*devices); err != nil {
+			return config{}, err
+		}
+		cfg.opts.SatSLO = *satSLO
+		cfg.opts.SatMetric = *satMetric
+		cfg.opts.SatRequests = *satRequests
+		cfg.opts.FleetDevices = *devices
 	}
 	if withAutoscale {
 		// Validate the spellings here so a typo fails before the fleet
@@ -329,6 +380,54 @@ func execute(ids []string, cfg config) error {
 	return emit(cfg, len(ids), false, func(ctx context.Context) <-chan experiments.Result {
 		return experiments.Stream(ctx, ids, cfg.opts, cfg.runnerOptions())
 	})
+}
+
+// soak streams a large open-loop workload through a single engine with
+// lean metrics — the request stream is generated lazily and never
+// materialized, so live memory is O(active batch), not O(requests) —
+// and reports simulation throughput in sim-events/sec (prefills plus
+// decode chunks, the clock-advancing units of work).
+func soak(args []string) error {
+	fs := flag.NewFlagSet("soak", flag.ContinueOnError)
+	requests := fs.Float64("requests", 1e6, "requests to stream (accepts 1e6 notation)")
+	qps := fs.Float64("qps", 0.8, "offered load in requests/s (keep below the single-engine knee of ~1.1)")
+	seed := fs.Uint64("seed", 7, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("soak: unexpected arguments %q", fs.Args())
+	}
+	n := int(*requests)
+	if n <= 0 || float64(n) != *requests {
+		return fmt.Errorf("soak: -requests must be a positive integer, got %g", *requests)
+	}
+	if *qps <= 0 {
+		return fmt.Errorf("soak: -qps must be positive")
+	}
+	src, err := workload.NewSource(workload.InteractiveAssistant(*qps, n), *seed)
+	if err != nil {
+		return err
+	}
+	eng, err := engine.New(engine.Config{Spec: model.MustLookup(model.Qwen25_1_5Bit), Device: hw.JetsonAGXOrin64GB()})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	m, err := eng.ServeSource(src, 8, engine.FCFS, engine.ServeOpts{LeanMetrics: true})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	runtime.GC() // settle the heap so the live figure excludes garbage
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Printf("soak: %d requests streamed in %s wall (%.0f sim-events/s)\n",
+		n, wall.Round(time.Millisecond), float64(m.Events)/wall.Seconds())
+	fmt.Printf("  served %d, events %d, sim time %.0fs, p99 %.2fs, mean %.3fs\n",
+		m.Served, m.Events, eng.Clock(), m.P99Latency, m.MeanLatency)
+	fmt.Printf("  live heap after run %.1f MB\n", float64(ms.HeapAlloc)/(1<<20))
+	return nil
 }
 
 // sweep fans one driver across seeds and renders each seed's tables in
@@ -558,6 +657,8 @@ commands:
   fleet [flags]        route open-loop traffic across a heterogeneous fleet
   sessions [flags]     multi-turn agentic serving with prefix KV caching
   autoscale [flags]    elastic replica pool + ingress admission disciplines
+  saturate [flags]     binary-search offered QPS to the SLO saturation knee
+  soak [flags]         stream a large open-loop run end to end (sim-events/sec)
   sweep <id> [flags]   fan one experiment across seeds (variance estimation)
 
 flags:
@@ -583,5 +684,9 @@ flags:
   -min N        autoscale pool floor (autoscale only; default 1)
   -max N        autoscale pool ceiling (autoscale only; default 6)
   -admission D  autoscale: fifo | edf | sjf | shed (default fifo)
-  -scale-on S   autoscale: depth | miss | both (default both)`)
+  -scale-on S   autoscale: depth | miss | both (default both)
+  -slo X        saturate: p99 bound in seconds or hit-rate floor (metric default)
+  -metric M     saturate: p99 | hitrate (default p99)
+  -requests N   saturate: requests per probe (default 240)
+                soak: requests to stream, 1e6 notation ok (default 1e6)`)
 }

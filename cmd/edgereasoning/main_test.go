@@ -174,6 +174,69 @@ func TestAutoscaleSubcommandRejectsBadFlags(t *testing.T) {
 	}
 }
 
+func TestSaturateSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"saturate", "-quick", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"saturate.csv", "saturate-verify.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing %s: %v", want, err)
+		}
+	}
+}
+
+func TestSaturateSubcommandRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"saturate", "-metric", "vibes"}); err == nil {
+		t.Error("unknown metric must fail before probes spin up")
+	}
+	if err := run([]string{"saturate", "-slo", "-1"}); err == nil {
+		t.Error("negative SLO must be rejected")
+	}
+	if err := run([]string{"saturate", "-metric", "hitrate", "-slo", "1.5"}); err == nil {
+		t.Error("hit-rate SLO above 1 must be rejected")
+	}
+	if err := run([]string{"saturate", "-requests", "-5"}); err == nil {
+		t.Error("negative probe size must be rejected")
+	}
+	if err := run([]string{"saturate", "-devices", "tpu"}); err == nil {
+		t.Error("unknown device must fail before probes spin up")
+	}
+	if err := run([]string{"saturate", "-seeds", "1,2"}); err == nil {
+		t.Error("-seeds must be rejected on saturate")
+	}
+	if err := run([]string{"run", "qps", "-slo", "3"}); err == nil {
+		t.Error("saturate flags must not leak into run")
+	}
+	if err := run([]string{"fleet", "-metric", "p99"}); err == nil {
+		t.Error("saturate flags must not leak into fleet")
+	}
+}
+
+func TestSoakSubcommand(t *testing.T) {
+	if err := run([]string{"soak", "-requests", "200", "-qps", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoakSubcommandRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"soak", "-requests", "0.5"}); err == nil {
+		t.Error("fractional request count must be rejected")
+	}
+	if err := run([]string{"soak", "-requests", "0"}); err == nil {
+		t.Error("zero request count must be rejected")
+	}
+	if err := run([]string{"soak", "-qps", "-1"}); err == nil {
+		t.Error("non-positive qps must be rejected")
+	}
+	if err := run([]string{"soak", "extra"}); err == nil {
+		t.Error("positional arguments must be rejected")
+	}
+	if err := run([]string{"run", "qps", "-requests", "100"}); err == nil {
+		t.Error("soak flags must not leak into run")
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"run", "fig999"}); err == nil {
 		t.Error("unknown experiment must fail")

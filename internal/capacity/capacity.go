@@ -1,0 +1,180 @@
+// Package capacity finds the saturation knee of a serving configuration:
+// the highest offered load (QPS) at which a service-level objective —
+// a p99 latency bound, a deadline hit-rate floor — still holds. The
+// search is a bracketing binary search over offered QPS against a
+// caller-supplied probe, so it is agnostic to what actually serves the
+// load (a single engine, a fixed fleet, an elastic pool).
+//
+// The knee is the capacity-planning number: offered load below it meets
+// the SLO with headroom, load above it degrades past the objective. The
+// probe is assumed monotone — once violated at some QPS, the SLO stays
+// violated at every higher QPS — which holds for queueing systems whose
+// latency grows with utilization. Simulation noise near the knee makes
+// the assumption approximate; Resolution bounds how finely the search
+// trusts it.
+package capacity
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSLONeverMet reports that the objective is violated even at the
+// minimum probed load: the configuration cannot meet the SLO at any
+// offered QPS, so no knee exists. (The fixed cost of serving a single
+// request — prefill plus full decode — already exceeds the objective.)
+var ErrSLONeverMet = errors.New("capacity: SLO violated even at minimum offered load")
+
+// ErrSLOAlwaysMet reports that the objective holds even at the maximum
+// probed load: the search bracket never contains the knee. Raise MaxQPS
+// (or distrust the probe) rather than reading the bracket top as
+// capacity.
+var ErrSLOAlwaysMet = errors.New("capacity: SLO still met at maximum offered load")
+
+// Probe measures one operating point: offer the load and report the
+// observed metric value and whether the SLO held. Probes must be
+// deterministic for a given QPS — the search may rely on remembering
+// rather than re-measuring a point.
+type Probe func(qps float64) (Sample, error)
+
+// Sample is one probe observation.
+type Sample struct {
+	// Value is the measured metric at this load (p99 seconds, hit rate).
+	Value float64
+	// Met reports whether the SLO held.
+	Met bool
+}
+
+// Point is a probed operating point, for reporting the search trajectory.
+type Point struct {
+	QPS float64
+	Sample
+}
+
+// Options bounds the knee search.
+type Options struct {
+	// MinQPS and MaxQPS bracket the search. Defaults: 0.25 and 1024.
+	MinQPS float64
+	MaxQPS float64
+	// Resolution stops the bisection when the bracket is within this
+	// relative width (hi-lo <= Resolution*lo). Default 0.05.
+	Resolution float64
+	// MaxProbes bounds total probe invocations across bracketing and
+	// bisection; the search returns its best bracket when exhausted.
+	// Default 32.
+	MaxProbes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinQPS <= 0 {
+		o.MinQPS = 0.25
+	}
+	if o.MaxQPS <= 0 {
+		o.MaxQPS = 1024
+	}
+	if o.Resolution <= 0 {
+		o.Resolution = 0.05
+	}
+	if o.MaxProbes <= 0 {
+		o.MaxProbes = 32
+	}
+	return o
+}
+
+// Knee is the located saturation point.
+type Knee struct {
+	// QPS is the highest probed load meeting the SLO.
+	QPS float64
+	// Value is the metric observed at QPS.
+	Value float64
+	// ViolatedQPS is the lowest probed load violating the SLO — the top
+	// of the final bracket; the true knee lies in (QPS, ViolatedQPS).
+	ViolatedQPS float64
+	// Probes is the full search trajectory in probe order.
+	Probes []Point
+}
+
+// FindKnee locates the saturation knee of probe within opts' bracket.
+// It returns ErrSLONeverMet when the SLO is violated at MinQPS and
+// ErrSLOAlwaysMet when it still holds at MaxQPS; both carry the probe
+// trajectory via *SearchError for diagnosis.
+func FindKnee(probe Probe, opts Options) (Knee, error) {
+	o := opts.withDefaults()
+	if o.MaxQPS < o.MinQPS {
+		return Knee{}, fmt.Errorf("capacity: MaxQPS %.3g below MinQPS %.3g", o.MaxQPS, o.MinQPS)
+	}
+	var trail []Point
+	budget := o.MaxProbes
+	measure := func(qps float64) (Sample, error) {
+		budget--
+		s, err := probe(qps)
+		if err != nil {
+			return s, fmt.Errorf("capacity: probe at %.3g QPS: %w", qps, err)
+		}
+		trail = append(trail, Point{QPS: qps, Sample: s})
+		return s, nil
+	}
+
+	// Floor check: the SLO must hold somewhere for a knee to exist.
+	lo := o.MinQPS
+	loSample, err := measure(lo)
+	if err != nil {
+		return Knee{}, err
+	}
+	if !loSample.Met {
+		return Knee{}, &SearchError{Err: ErrSLONeverMet, Probes: trail}
+	}
+
+	// Bracket: double the load until the SLO breaks (or the ceiling or
+	// probe budget is hit). Every passing point advances the floor, so
+	// the bisection below starts from the tightest known bracket.
+	hi := lo
+	bracketed := false
+	for budget > 0 {
+		next := hi * 2
+		if next > o.MaxQPS {
+			next = o.MaxQPS
+		}
+		if next <= hi { // ceiling reached without a violation
+			break
+		}
+		s, err := measure(next)
+		if err != nil {
+			return Knee{}, err
+		}
+		if !s.Met {
+			hi, bracketed = next, true
+			break
+		}
+		lo, loSample = next, s
+		hi = next
+	}
+	if !bracketed {
+		return Knee{}, &SearchError{Err: ErrSLOAlwaysMet, Probes: trail}
+	}
+
+	// Bisect the (met, violated) bracket down to Resolution.
+	for budget > 0 && hi-lo > o.Resolution*lo {
+		mid := (lo + hi) / 2
+		s, err := measure(mid)
+		if err != nil {
+			return Knee{}, err
+		}
+		if s.Met {
+			lo, loSample = mid, s
+		} else {
+			hi = mid
+		}
+	}
+	return Knee{QPS: lo, Value: loSample.Value, ViolatedQPS: hi, Probes: trail}, nil
+}
+
+// SearchError wraps a terminal search outcome with the probe trajectory
+// that led to it. errors.Is matches the wrapped sentinel.
+type SearchError struct {
+	Err    error
+	Probes []Point
+}
+
+func (e *SearchError) Error() string { return e.Err.Error() }
+func (e *SearchError) Unwrap() error { return e.Err }

@@ -1,0 +1,117 @@
+package capacity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// stepProbe models a service that meets the SLO strictly below knee and
+// violates it at or above — the idealized monotone system the search
+// assumes.
+func stepProbe(knee float64, calls *int) Probe {
+	return func(qps float64) (Sample, error) {
+		if calls != nil {
+			*calls++
+		}
+		return Sample{Value: qps / knee, Met: qps < knee}, nil
+	}
+}
+
+func TestFindKneeConverges(t *testing.T) {
+	for _, knee := range []float64{0.9, 3.7, 41, 513} {
+		k, err := FindKnee(stepProbe(knee, nil), Options{MaxQPS: 1024, Resolution: 0.01})
+		if err != nil {
+			t.Fatalf("knee %.1f: %v", knee, err)
+		}
+		if k.QPS >= knee || k.ViolatedQPS < knee {
+			t.Fatalf("knee %.1f: bracket [%.4f, %.4f] does not contain it", knee, k.QPS, k.ViolatedQPS)
+		}
+		if rel := (knee - k.QPS) / knee; rel > 0.05 {
+			t.Fatalf("knee %.1f: located %.4f, off by %.1f%%", knee, k.QPS, rel*100)
+		}
+		if len(k.Probes) == 0 {
+			t.Fatal("no probe trajectory recorded")
+		}
+	}
+}
+
+// TestSLONeverMet pins the floor edge: a service that violates the SLO
+// even as offered load approaches zero (the single-request service time
+// already busts the objective) must return the typed error, not hang or
+// fabricate a knee.
+func TestSLONeverMet(t *testing.T) {
+	calls := 0
+	probe := func(qps float64) (Sample, error) {
+		calls++
+		return Sample{Value: math.Inf(1), Met: false}, nil
+	}
+	_, err := FindKnee(probe, Options{})
+	if !errors.Is(err, ErrSLONeverMet) {
+		t.Fatalf("want ErrSLONeverMet, got %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("floor rejection should take exactly one probe, took %d", calls)
+	}
+	var se *SearchError
+	if !errors.As(err, &se) || len(se.Probes) != 1 {
+		t.Fatalf("error should carry the probe trajectory: %v", err)
+	}
+}
+
+// TestSLOAlwaysMet pins the ceiling edge: a service that never saturates
+// within the bracket must return the typed error instead of reporting
+// MaxQPS as capacity.
+func TestSLOAlwaysMet(t *testing.T) {
+	calls := 0
+	probe := func(qps float64) (Sample, error) {
+		calls++
+		return Sample{Value: 0.1, Met: true}, nil
+	}
+	_, err := FindKnee(probe, Options{MaxQPS: 64})
+	if !errors.Is(err, ErrSLOAlwaysMet) {
+		t.Fatalf("want ErrSLOAlwaysMet, got %v", err)
+	}
+	var se *SearchError
+	if !errors.As(err, &se) || len(se.Probes) != calls {
+		t.Fatalf("error should carry all %d probes: %v", calls, err)
+	}
+}
+
+// TestProbeBudget verifies the search is bounded: MaxProbes caps total
+// invocations even at an absurdly fine resolution, and the result is
+// still a valid bracket.
+func TestProbeBudget(t *testing.T) {
+	calls := 0
+	k, err := FindKnee(stepProbe(3.14159, &calls), Options{MaxProbes: 10, Resolution: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls > 10 {
+		t.Fatalf("probe called %d times, budget 10", calls)
+	}
+	if !(k.QPS < 3.14159 && k.ViolatedQPS >= 3.14159) {
+		t.Fatalf("budget-exhausted bracket [%.4f, %.4f] invalid", k.QPS, k.ViolatedQPS)
+	}
+}
+
+func TestProbeErrorPropagates(t *testing.T) {
+	boom := fmt.Errorf("engine exploded")
+	probe := func(qps float64) (Sample, error) {
+		if qps > 1 {
+			return Sample{}, boom
+		}
+		return Sample{Met: true}, nil
+	}
+	_, err := FindKnee(probe, Options{MinQPS: 0.5})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want wrapped probe error, got %v", err)
+	}
+}
+
+func TestBadBracket(t *testing.T) {
+	if _, err := FindKnee(stepProbe(1, nil), Options{MinQPS: 10, MaxQPS: 5}); err == nil {
+		t.Fatal("inverted bracket should error")
+	}
+}

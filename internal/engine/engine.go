@@ -275,6 +275,10 @@ type activeSeq struct {
 	metrics   Metrics
 	arrival   float64
 	deadline  float64
+	// slot is the arena index this sequence occupies, so the streaming
+	// serve loop can return it to the free list on completion (Run's
+	// one-shot arena leaves it zero).
+	slot int
 	// promptSyms/outputSyms carry the request's token identities so the
 	// finished sequence can be retained in the prefix index (nil when the
 	// engine has no prefix cache or the request carried none).
@@ -374,7 +378,8 @@ func (e *Engine) Run(reqs []Request, maxBatch int) (BatchMetrics, error) {
 				return out, fmt.Errorf("engine: request %q (%d tokens) exceeds KV capacity even alone",
 					req.ID, req.PromptTokens+req.OutputTokens)
 			}
-			if err := e.cache.Allocate(req.ID, req.PromptTokens); err != nil {
+			if err := e.cache.AllocateReserve(req.ID, req.PromptTokens,
+				req.PromptTokens+req.OutputTokens); err != nil {
 				return out, fmt.Errorf("engine: admit %q: %w", req.ID, err)
 			}
 			queue = queue[1:]

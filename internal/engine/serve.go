@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"edgereasoning/internal/stats"
@@ -58,6 +59,12 @@ type ServeMetrics struct {
 	MeanLatency    float64
 	DeadlinesMet   int
 	DeadlinesTotal int
+	// Served counts completed requests. It equals len(Latencies) and — in
+	// full-metrics mode — len(Requests), but survives LeanMetrics.
+	Served int
+	// Events counts clock-advancing simulation events (prefills and
+	// decode chunks) — the unit soak throughput is reported in.
+	Events int
 	// Latencies holds per-request (finish − arrival), in completion order.
 	Latencies []float64
 	// PrefixLookups counts admissions that consulted the prefix cache;
@@ -91,30 +98,122 @@ func (s ServeMetrics) HitRate() float64 {
 	return float64(s.DeadlinesMet) / float64(s.DeadlinesTotal)
 }
 
+// ServeOpts tunes a streaming serve run.
+type ServeOpts struct {
+	// LeanMetrics drops per-request Metrics retention (ServeMetrics.
+	// Requests stays nil) so a million-request soak holds O(active)
+	// request state; latencies are still recorded for percentiles.
+	LeanMetrics bool
+	// SizeHint, when positive, pre-sizes the result slices for an
+	// expected request count (the slice-API wrapper passes len(reqs)).
+	SizeHint int
+}
+
+// readyQueue is the admission queue: head-indexed so popping the front is
+// O(1) without reslicing-away reusable capacity, compacted amortizedly so
+// the dead prefix never exceeds the live region. Popped slots are zeroed
+// so a drained queue pins no request payloads (PromptSyms histories are
+// the bulk of a session stream's bytes).
+type readyQueue struct {
+	buf  []TimedRequest
+	head int
+}
+
+func (q *readyQueue) len() int            { return len(q.buf) - q.head }
+func (q *readyQueue) front() TimedRequest { return q.buf[q.head] }
+
+func (q *readyQueue) pushBack(tr TimedRequest) {
+	q.reserve()
+	q.buf = append(q.buf, tr)
+}
+
+// reserve seeds the backing array at a 16-slot floor on first use so a
+// short backlog never pays the early append-growth doublings.
+func (q *readyQueue) reserve() {
+	if q.buf == nil {
+		q.buf = make([]TimedRequest, 0, 16)
+	}
+}
+
+func (q *readyQueue) popFront() {
+	q.buf[q.head] = TimedRequest{}
+	q.head++
+	if q.head >= 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = TimedRequest{}
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+}
+
+// edfKey orders deadlines with 0 (none) last.
+func edfKey(d float64) float64 {
+	if d == 0 {
+		return math.Inf(1)
+	}
+	return d
+}
+
+// insertEDF places tr at its earliest-deadline-first position, after any
+// queued request with an equal key — element-for-element what a stable
+// sort of the whole queue produces, without re-sorting the sorted part.
+func (q *readyQueue) insertEDF(tr TimedRequest) {
+	key := edfKey(tr.Deadline)
+	q.reserve()
+	q.buf = append(q.buf, tr)
+	j := len(q.buf) - 1
+	for j > q.head && edfKey(q.buf[j-1].Deadline) > key {
+		q.buf[j] = q.buf[j-1]
+		j--
+	}
+	q.buf[j] = tr
+}
+
 // Serve executes an open-loop workload: requests become visible at their
 // arrival times, are admitted per the scheduling policy up to maxBatch
 // concurrent decoders, and complete under the same continuous-batching
-// loop as Run. The engine clock must be at or before the earliest arrival.
+// loop as Run. The engine clock must be at or before the earliest
+// arrival. It is a thin collector over ServeSource; results are
+// element-identical to the historical slice implementation.
 func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (ServeMetrics, error) {
-	if maxBatch <= 0 {
-		maxBatch = 1
-	}
 	pending := make([]TimedRequest, len(reqs))
 	copy(pending, reqs)
 	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Arrival < pending[j].Arrival })
-	if len(pending) > 0 && e.clock > pending[0].Arrival {
-		return ServeMetrics{}, fmt.Errorf("engine: clock %.3f already past first arrival %.3f", e.clock, pending[0].Arrival)
+	return e.ServeSource(NewSliceSource(pending), maxBatch, policy, ServeOpts{SizeHint: len(reqs)})
+}
+
+// ServeSource is the streaming serve loop: requests are pulled from src
+// (non-decreasing Arrival order) as simulated time reaches them, so live
+// memory scales with the in-flight set — ready backlog plus maxBatch
+// active decoders — not the stream length. Per-run bookkeeping (sequence
+// arena, ready queue, decode scratch) is sized by maxBatch and recycled,
+// keeping the steady-state loop allocation-free.
+func (e *Engine) ServeSource(src Source, maxBatch int, policy SchedPolicy, opts ServeOpts) (ServeMetrics, error) {
+	if maxBatch <= 0 {
+		maxBatch = 1
+	}
+	in := NewPeekable(src)
+	if tr, ok := in.Peek(); ok && e.clock > tr.Arrival {
+		return ServeMetrics{}, fmt.Errorf("engine: clock %.3f already past first arrival %.3f", e.clock, tr.Arrival)
 	}
 
-	var ready []TimedRequest
+	var ready readyQueue
 	active := make([]*activeSeq, 0, maxBatch)
-	// Arena of sequence bookkeeping: fixed-size, so slot pointers are
-	// stable for the run's lifetime.
-	arena := make([]activeSeq, len(reqs))
-	admitted := 0
+	// Arena of sequence bookkeeping: at most maxBatch sequences are ever
+	// live, so maxBatch slots recycled through a free list cover any
+	// stream length. Slot pointers are stable for the run's lifetime.
+	arena := make([]activeSeq, maxBatch)
+	freeSlots := make([]int, maxBatch)
+	for i := range freeSlots {
+		freeSlots[i] = maxBatch - 1 - i
+	}
 	var out ServeMetrics
-	out.Requests = make([]Metrics, 0, len(reqs))
-	out.Latencies = make([]float64, 0, len(reqs))
+	if !opts.LeanMetrics {
+		out.Requests = make([]Metrics, 0, opts.SizeHint)
+	}
+	out.Latencies = make([]float64, 0, opts.SizeHint)
 
 	blocksFor := func(tokens int) int {
 		if tokens <= 0 {
@@ -128,21 +227,17 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 	futureGrowth := 0
 	ctxs := make([]int, 0, maxBatch) // scratch, reused every decode event
 	promote := func() {
-		for len(pending) > 0 && pending[0].Arrival <= e.clock+1e-12 {
-			ready = append(ready, pending[0])
-			pending = pending[1:]
-		}
-		if policy == EDF {
-			sort.SliceStable(ready, func(i, j int) bool {
-				di, dj := ready[i].Deadline, ready[j].Deadline
-				if di == 0 {
-					return false
-				}
-				if dj == 0 {
-					return true
-				}
-				return di < dj
-			})
+		for {
+			tr, ok := in.Peek()
+			if !ok || tr.Arrival > e.clock+1e-12 {
+				break
+			}
+			in.Next()
+			if policy == EDF {
+				ready.insertEDF(tr)
+			} else {
+				ready.pushBack(tr)
+			}
 		}
 	}
 	finish := func(s *activeSeq) error {
@@ -161,32 +256,38 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 		}
 		lat := e.clock - s.arrival
 		out.Latencies = append(out.Latencies, lat)
+		out.Served++
 		if s.deadline > 0 {
 			out.DeadlinesTotal++
 			if e.clock <= s.deadline {
 				out.DeadlinesMet++
 			}
 		}
-		s.metrics.QueueTime = lat - s.metrics.TotalTime()
-		out.Requests = append(out.Requests, s.metrics)
+		if !opts.LeanMetrics {
+			s.metrics.QueueTime = lat - s.metrics.TotalTime()
+			out.Requests = append(out.Requests, s.metrics)
+		}
 		out.TotalTokens += s.req.PromptTokens + s.req.OutputTokens
+		s.promptSyms, s.outputSyms = nil, nil
+		freeSlots = append(freeSlots, s.slot)
 		return nil
 	}
 
 	start := e.clock
-	for len(pending) > 0 || len(ready) > 0 || len(active) > 0 {
+	for in.More() || ready.len() > 0 || len(active) > 0 {
 		promote()
 		// Idle: jump to the next arrival.
-		if len(active) == 0 && len(ready) == 0 {
-			if len(pending) == 0 {
+		if len(active) == 0 && ready.len() == 0 {
+			tr, ok := in.Peek()
+			if !ok {
 				break
 			}
-			e.clock = pending[0].Arrival
+			e.clock = tr.Arrival
 			continue
 		}
 		// Admit from the ready queue.
-		for len(ready) > 0 && len(active) < maxBatch {
-			tr := ready[0]
+		for ready.len() > 0 && len(active) < maxBatch {
+			tr := ready.front()
 			if tr.PromptTokens <= 0 {
 				return out, fmt.Errorf("engine: request %q has no prompt", tr.ID)
 			}
@@ -222,7 +323,7 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 				}
 				return out, fmt.Errorf("engine: request %q exceeds KV capacity even alone", tr.ID)
 			}
-			ready = ready[1:]
+			ready.popFront()
 			matched := 0
 			if syms != nil {
 				m, err := e.prefix.Acquire(tr.ID, syms)
@@ -236,13 +337,15 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 					out.PrefixHits++
 					out.SavedPrefillTokens += matched
 				}
-			} else if err := e.cache.Allocate(tr.ID, tr.PromptTokens); err != nil {
+			} else if err := e.cache.AllocateReserve(tr.ID, tr.PromptTokens,
+				tr.PromptTokens+tr.OutputTokens); err != nil {
 				return out, err
 			}
-			s := &arena[admitted]
-			admitted++
+			slot := freeSlots[len(freeSlots)-1]
+			freeSlots = freeSlots[:len(freeSlots)-1]
+			s := &arena[slot]
 			*s = activeSeq{req: tr.Request, ctx: tr.PromptTokens, remaining: tr.OutputTokens,
-				arrival: tr.Arrival, deadline: tr.Deadline}
+				arrival: tr.Arrival, deadline: tr.Deadline, slot: slot}
 			if e.prefix != nil {
 				s.promptSyms, s.outputSyms = tr.PromptSyms, tr.OutputSyms
 			}
@@ -270,6 +373,7 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 				return out, err
 			}
 			e.clock += res.Time
+			out.Events++
 			s.metrics.PrefillTime = res.Time
 			s.metrics.PrefillEnergy = e.meter.Energy(res)
 			out.TotalEnergy += s.metrics.PrefillEnergy
@@ -295,7 +399,7 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 			continue
 		}
 		const admitGrain = 16
-		if (len(pending) > 0 || len(ready) > 0) && chunk > admitGrain {
+		if (in.More() || ready.len() > 0) && chunk > admitGrain {
 			chunk = admitGrain
 		}
 		ctxs = ctxs[:0]
@@ -305,6 +409,7 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 		res := e.decodeChunk(ctxs, chunk)
 		energy := e.meter.Energy(res)
 		e.clock += res.Time
+		out.Events++
 		out.TotalEnergy += energy
 		perSeqEnergy := energy / float64(len(active))
 		for _, s := range active {
@@ -326,8 +431,21 @@ func (e *Engine) Serve(reqs []TimedRequest, maxBatch int, policy SchedPolicy) (S
 	out.PeakKVBlocks = e.cache.PeakUsed()
 	if len(out.Latencies) > 0 {
 		out.MeanLatency = stats.Mean(out.Latencies)
-		p := stats.Percentiles(out.Latencies, 50, 95, 99)
-		out.P50Latency, out.P95Latency, out.P99Latency = p[0], p[1], p[2]
+		out.P50Latency, out.P95Latency, out.P99Latency = stats.Percentiles3(out.Latencies)
 	}
 	return out, nil
+}
+
+// CalibrationRates returns the engine's per-token prefill and decode
+// rates at the reference geometry (256-token prompt, 128-step decode at
+// context 256) without touching the clock or the cache — the same
+// numbers a one-request probe run produces, at zero allocation. The
+// fleet's router uses them to estimate service times for shed decisions.
+func (e *Engine) CalibrationRates() (prefillPerTok, decodePerTok float64, err error) {
+	res, err := e.prefill(256)
+	if err != nil {
+		return 0, 0, err
+	}
+	d := e.decodeChunk([]int{256}, 128)
+	return res.Time / 256, d.Time / 128, nil
 }

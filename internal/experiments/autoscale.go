@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"edgereasoning/internal/engine"
 	"edgereasoning/internal/fleet"
 	"edgereasoning/internal/model"
 	"edgereasoning/internal/workload"
@@ -87,12 +88,12 @@ func autoscaleStudy(opts Options) ([]Table, error) {
 		ScaleOn:         scaleOn,
 	}
 	serve := func(replicas int, autoscale *fleet.AutoscaleConfig) (fleet.Metrics, error) {
-		return fleet.Serve(fleet.Config{
+		return fleet.ServeSource(fleet.Config{
 			Replicas:  fleet.HeterogeneousReplicas(replicas, devices, spec),
 			Policy:    fleet.DeadlineAware,
 			Admission: admission,
 			Autoscale: autoscale,
-		}, reqs)
+		}, engine.NewSliceSource(reqs))
 	}
 	elastic, err := serve(min, auto)
 	if err != nil {
@@ -164,11 +165,11 @@ func autoscaleStudy(opts Options) ([]Table, error) {
 	}
 	byDiscipline := map[fleet.Admission]fleet.Metrics{}
 	for _, a := range fleet.Admissions() {
-		m, err := fleet.Serve(fleet.Config{
+		m, err := fleet.ServeSource(fleet.Config{
 			Replicas:  fleet.HeterogeneousReplicas(2, devices, spec),
 			Policy:    fleet.LeastQueue,
 			Admission: a,
-		}, oreqs)
+		}, engine.NewSliceSource(oreqs))
 		if err != nil {
 			return nil, err
 		}

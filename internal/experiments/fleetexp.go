@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"edgereasoning/internal/engine"
 	"edgereasoning/internal/fleet"
 	"edgereasoning/internal/model"
 	"edgereasoning/internal/workload"
@@ -61,7 +62,9 @@ func fleetSweep(opts Options) ([]Table, error) {
 			Replicas: fleet.HeterogeneousReplicas(replicas, devices, spec),
 			Policy:   p,
 		}
-		return fleet.Serve(cfg, reqs)
+		// reqs is already arrival-sorted, so the streaming ingress consumes
+		// it directly — no per-run copy and re-sort.
+		return fleet.ServeSource(cfg, engine.NewSliceSource(reqs))
 	}
 
 	sweep := Table{

@@ -15,13 +15,15 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // deterministic-report fix), the fleet sweep (guarding its verify table,
 // including its pass marks), the session study (guarding the
 // prefix-cache wins — warm TTFT, saved prefill, affinity hit rate — as
-// rendered pass marks), and the autoscale study (guarding the elastic-
+// rendered pass marks), the autoscale study (guarding the elastic-
 // vs-fixed and shed-vs-FIFO verify marks plus the scale-event
-// timeline). Regenerate intentionally with
+// timeline), and the saturation study (guarding the knee-vs-fleet-size
+// scaling and the analyzer's typed edge errors). Regenerate
+// intentionally with
 //
 //	go test ./internal/experiments -run TestGoldenReports -update
 func TestGoldenReports(t *testing.T) {
-	for _, id := range []string{"sched", "fleet", "sessions", "autoscale"} {
+	for _, id := range []string{"sched", "fleet", "sessions", "autoscale", "saturate"} {
 		t.Run(id, func(t *testing.T) {
 			tables, err := Run(id, Options{Seed: 7, Quick: true})
 			if err != nil {

@@ -31,11 +31,13 @@ func qpsSweep(opts Options) ([]Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		reqs, err := workload.Generate(workload.InteractiveAssistant(qps, n), opts.Seed)
+		// The workload is generated lazily and pulled by the serve loop —
+		// no materialized request slice anywhere in this driver.
+		src, err := workload.NewSource(workload.InteractiveAssistant(qps, n), opts.Seed)
 		if err != nil {
 			return nil, err
 		}
-		m, err := eng.Serve(reqs, 8, engine.FCFS)
+		m, err := eng.ServeSource(src, 8, engine.FCFS, engine.ServeOpts{SizeHint: n})
 		if err != nil {
 			return nil, err
 		}
@@ -67,11 +69,11 @@ func schedulerComparison(opts Options) ([]Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			reqs, err := workload.Generate(profile, opts.Seed)
+			src, err := workload.NewSource(profile, opts.Seed)
 			if err != nil {
 				return nil, err
 			}
-			m, err := eng.Serve(reqs, 2, pol)
+			m, err := eng.ServeSource(src, 2, pol, engine.ServeOpts{SizeHint: n})
 			if err != nil {
 				return nil, err
 			}

@@ -45,6 +45,14 @@ type Options struct {
 	SessionTurns  int    // agent-loop turns per session (default 5; quick 3)
 	SessionBranch int    // parallel think samples at branch turns (default 2)
 	SessionPolicy string // affinity-table policy, or ""/"all" for the comparison set
+
+	// Sat* parameterize the "saturate" driver (the CLI's saturate
+	// subcommand threads them through); zero values select the driver's
+	// defaults and other drivers ignore them. The driver also honors
+	// FleetDevices (replica provision cycle).
+	SatSLO      float64 // objective: p99 bound in seconds, or hit-rate floor in [0,1]
+	SatMetric   string  // "p99" (default) or "hitrate"
+	SatRequests int     // requests offered per probe (default 240; quick 120)
 }
 
 // DefaultOptions is the standard full-fidelity configuration.

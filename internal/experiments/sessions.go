@@ -57,7 +57,10 @@ func sessionStudy(opts Options) ([]Table, error) {
 		if err != nil {
 			return engine.ServeMetrics{}, err
 		}
-		return e.Serve(reqs, maxBatch, engine.FCFS)
+		// The stream is already arrival-sorted, so it feeds the serve loop
+		// directly; results are element-identical to the slice path.
+		return e.ServeSource(engine.NewSliceSource(reqs), maxBatch, engine.FCFS,
+			engine.ServeOpts{SizeHint: len(reqs)})
 	}
 	cold, err := serve(false)
 	if err != nil {
@@ -105,7 +108,7 @@ func sessionStudy(opts Options) ([]Table, error) {
 			Policy:      p,
 			PrefixCache: true,
 		}
-		m, err := fleet.Serve(cfg, reqs)
+		m, err := fleet.ServeSource(cfg, engine.NewSliceSource(reqs))
 		if err != nil {
 			return fleet.Metrics{}, err
 		}

@@ -97,8 +97,15 @@ type ingress struct {
 	head       int // waiting[head:] is the live queue
 }
 
-func (q *ingress) push(tr engine.TimedRequest) { q.waiting = append(q.waiting, tr) }
-func (q *ingress) len() int                    { return len(q.waiting) - q.head }
+func (q *ingress) push(tr engine.TimedRequest) {
+	if q.waiting == nil {
+		// A 64-slot floor skips the early append-growth doublings; a
+		// congested ingress grows geometrically from there.
+		q.waiting = make([]engine.TimedRequest, 0, 64)
+	}
+	q.waiting = append(q.waiting, tr)
+}
+func (q *ingress) len() int { return len(q.waiting) - q.head }
 
 // pick returns the index (into waiting) of the request to dispatch
 // next. The live region is arrival-ordered, so head is the FIFO choice

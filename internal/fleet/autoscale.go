@@ -166,7 +166,16 @@ func newAutoscaler(cfg *AutoscaleConfig, initial int, prefixCache bool) (*autosc
 	if err := c.validate(initial); err != nil {
 		return nil, err
 	}
-	return &autoscaler{cfg: c, prefixCache: prefixCache, lastUp: math.Inf(-1), peak: initial}, nil
+	return &autoscaler{
+		cfg:         c,
+		prefixCache: prefixCache,
+		lastUp:      math.Inf(-1),
+		peak:        initial,
+		// The event log is bounded by provisions plus retirements —
+		// O(Max) per run; reserving it up front keeps every scale
+		// decision allocation-free.
+		events: make([]ScaleEvent, 0, 2*c.Max),
+	}, nil
 }
 
 // liveAt reports whether the replica counts toward the live pool at t:

@@ -282,7 +282,8 @@ func TestStickySessionsPurgedOnRetirement(t *testing.T) {
 		sess("a2", "sa", 100),
 	}
 	var out Metrics
-	if err := dispatch(ro, as, FIFO, stream, &out); err != nil {
+	var delays map[string]float64
+	if err := dispatch(ro, as, FIFO, engine.NewPeekable(engine.NewSliceSource(stream)), &delays, &out); err != nil {
 		t.Fatal(err)
 	}
 	if out.Dropped != 0 {

@@ -111,6 +111,9 @@ type ReplicaMetrics struct {
 type Metrics struct {
 	Policy   Policy
 	Replicas []ReplicaMetrics
+	// Offered counts every request that entered the fleet's ingress;
+	// conservation holds as Served + Dropped == Offered on every run.
+	Offered int
 	// Served counts completed requests; Dropped counts requests that
 	// never reached a replica — either no replica could ever take them
 	// (all failed or never warm) or the Shed admission discipline
@@ -119,6 +122,10 @@ type Metrics struct {
 	Served  int
 	Dropped int
 	Shed    int
+	// Events sums the replicas' clock-advancing simulation events
+	// (prefills and decode chunks) — the unit soak throughput is
+	// reported in.
+	Events int
 	// Fleet-wide latency distribution over all completions.
 	P50Latency  float64
 	P95Latency  float64
@@ -178,11 +185,10 @@ type replica struct {
 	// Calibrated batch-1 rates from the warm-up probe.
 	prefillPerTok float64
 	decodePerTok  float64
-	// assigned is the replica's sub-stream, in dispatch order.
+	// assigned is the replica's sub-stream, in dispatch order; src is the
+	// reusable source wrapper its drain feeds the engine through.
 	assigned []engine.TimedRequest
-	// delays records per-request global-queue wait (dispatch − arrival),
-	// folded back into latency accounting after the engine runs.
-	delays map[string]float64
+	src      engine.SliceSource
 	// finishes holds estimated completion times of outstanding requests,
 	// sorted ascending; estFreeAt is the serial-backlog horizon.
 	finishes  []float64
@@ -197,30 +203,28 @@ type replica struct {
 	retiredAt     float64
 }
 
-// newReplica builds the engine pair (serving + calibration probe) for
-// one replica config.
+// newReplica builds the serving engine for one replica config and
+// calibrates the router's service-time estimate from the engine's own
+// kernel model. CalibrationRates is pure — the clock and cache are
+// untouched — and returns exactly what the historical one-request probe
+// run on a scratch engine measured, without constructing one.
 func newReplica(rc ReplicaConfig, prefixCache bool) (*replica, error) {
 	eng, err := engine.New(engine.Config{Spec: rc.Spec, Device: rc.Device, PrefixCache: prefixCache})
 	if err != nil {
 		return nil, fmt.Errorf("fleet: replica %s: %w", rc.Name, err)
 	}
-	// Calibrate the router's service-time estimate with a scratch
-	// engine so the serving engine's clock stays at zero.
-	probe, err := engine.New(engine.Config{Spec: rc.Spec, Device: rc.Device})
-	if err != nil {
-		return nil, fmt.Errorf("fleet: replica %s: %w", rc.Name, err)
-	}
-	const probePrompt, probeOut = 256, 128
-	pm, err := probe.Generate(engine.Request{ID: "probe", PromptTokens: probePrompt, OutputTokens: probeOut})
+	prefillPerTok, decodePerTok, err := eng.CalibrationRates()
 	if err != nil {
 		return nil, fmt.Errorf("fleet: replica %s probe: %w", rc.Name, err)
 	}
 	return &replica{
 		cfg:           rc,
 		eng:           eng,
-		prefillPerTok: pm.PrefillTime / probePrompt,
-		decodePerTok:  pm.DecodeTime / probeOut,
-		delays:        map[string]float64{},
+		prefillPerTok: prefillPerTok,
+		decodePerTok:  decodePerTok,
+		// finishes tracks at most Capacity outstanding estimates;
+		// reserving that up front keeps every take allocation-free.
+		finishes: make([]float64, 0, rc.Capacity),
 	}, nil
 }
 
@@ -256,9 +260,15 @@ func (r *replica) routableAt(t float64) bool {
 }
 
 // depth drops completed estimates and returns outstanding count at t.
+// Completed entries are compacted away in place — reslicing the head off
+// would orphan the preallocated backing array and make every later take
+// regrow it.
 func (r *replica) depth(t float64) int {
 	done := sort.Search(len(r.finishes), func(k int) bool { return r.finishes[k] > t })
-	r.finishes = r.finishes[done:]
+	if done > 0 {
+		n := copy(r.finishes, r.finishes[done:])
+		r.finishes = r.finishes[:n]
+	}
 	return len(r.finishes)
 }
 
@@ -271,13 +281,30 @@ func (r *replica) take(tr engine.TimedRequest, t float64) {
 	r.finishes = append(r.finishes, 0)
 	copy(r.finishes[i+1:], r.finishes[i:])
 	r.finishes[i] = est
+	if r.assigned == nil {
+		// Seed the sub-stream at a 64-request floor so short runs skip the
+		// early append-growth doublings.
+		r.assigned = make([]engine.TimedRequest, 0, 64)
+	}
 	r.assigned = append(r.assigned, tr)
 }
 
 // Serve routes the open-loop stream across the fleet and executes every
 // replica's sub-stream. Requests must not predate t=0; the input slice
-// is not modified.
+// is not modified. It is a thin collector over ServeSource.
 func Serve(cfg Config, reqs []engine.TimedRequest) (Metrics, error) {
+	stream := make([]engine.TimedRequest, len(reqs))
+	copy(stream, reqs)
+	sort.SliceStable(stream, func(i, j int) bool { return stream[i].Arrival < stream[j].Arrival })
+	return ServeSource(cfg, engine.NewSliceSource(stream))
+}
+
+// ServeSource routes a pull-based stream (non-decreasing Arrival order,
+// not predating t=0) across the fleet: the ingress consumes the source
+// lazily as the dispatch clock reaches each arrival, so live memory
+// scales with the waiting set plus the routed-but-undrained sub-streams,
+// not the stream length.
+func ServeSource(cfg Config, src engine.Source) (Metrics, error) {
 	if len(cfg.Replicas) == 0 {
 		return Metrics{}, fmt.Errorf("fleet: no replicas configured")
 	}
@@ -294,24 +321,26 @@ func Serve(cfg Config, reqs []engine.TimedRequest) (Metrics, error) {
 		return Metrics{}, err
 	}
 
-	stream := make([]engine.TimedRequest, len(reqs))
-	copy(stream, reqs)
-	sort.SliceStable(stream, func(i, j int) bool { return stream[i].Arrival < stream[j].Arrival })
-	if len(stream) > 0 && stream[0].Arrival < 0 {
-		return Metrics{}, fmt.Errorf("fleet: request %q arrives at negative time %.3f", stream[0].ID, stream[0].Arrival)
+	stream := engine.NewPeekable(src)
+	if tr, ok := stream.Peek(); ok && tr.Arrival < 0 {
+		return Metrics{}, fmt.Errorf("fleet: request %q arrives at negative time %.3f", tr.ID, tr.Arrival)
 	}
 
 	var out Metrics
 	out.Policy = cfg.Policy
 	router := &router{replicas: replicas, policy: cfg.Policy}
-	if err := dispatch(router, as, cfg.Admission, stream, &out); err != nil {
+	// delays records per-request global-queue wait (dispatch − arrival),
+	// folded back into latency accounting after the engines run. One map
+	// serves the whole run — request IDs are unique across replicas —
+	// and it stays nil while the fleet keeps up.
+	var delays map[string]float64
+	if err := dispatch(router, as, cfg.Admission, stream, &delays, &out); err != nil {
 		return out, err
 	}
 	replicas = router.replicas // the autoscaler may have grown the pool
 
 	discipline := cfg.Admission.localDiscipline(cfg.Policy)
-	var latencies []float64
-	var busy []float64
+	busy := make([]float64, 0, len(replicas))
 	// The replicas' sub-streams are independent once routed, so their
 	// drain phases simulate concurrently; results are folded back in
 	// replica order, keeping the output deterministic at any parallelism.
@@ -325,11 +354,21 @@ func Serve(cfg Config, reqs []engine.TimedRequest) (Metrics, error) {
 		wg.Add(1)
 		go func(i int, r *replica) {
 			defer wg.Done()
-			sm, err := r.eng.Serve(r.assigned, r.cfg.MaxBatch, discipline)
+			// The sub-stream is already in dispatch order (the dispatch
+			// clock is monotone), so it feeds the engine directly — no
+			// copy, no re-sort.
+			r.src.Reset(r.assigned)
+			sm, err := r.eng.ServeSource(&r.src,
+				r.cfg.MaxBatch, discipline, engine.ServeOpts{SizeHint: len(r.assigned)})
 			results[i] = drained{sm: sm, err: err}
 		}(i, r)
 	}
 	wg.Wait()
+	total := 0
+	for i := range results {
+		total += results[i].sm.Served
+	}
+	latencies := make([]float64, 0, total)
 	for i, r := range replicas {
 		sm, err := results[i].sm, results[i].err
 		if err != nil {
@@ -337,17 +376,16 @@ func Serve(cfg Config, reqs []engine.TimedRequest) (Metrics, error) {
 		}
 		// Fold the global-queue wait back into end-to-end latency.
 		// Requests and Latencies are parallel slices in completion order.
-		if len(r.delays) > 0 {
+		if len(delays) > 0 {
 			for j := range sm.Requests {
-				if d := r.delays[sm.Requests[j].ID]; d > 0 {
+				if d := delays[sm.Requests[j].ID]; d > 0 {
 					sm.Requests[j].QueueTime += d
 					sm.Latencies[j] += d
 				}
 			}
 			if len(sm.Latencies) > 0 {
 				sm.MeanLatency = stats.Mean(sm.Latencies)
-				p := stats.Percentiles(sm.Latencies, 50, 95, 99)
-				sm.P50Latency, sm.P95Latency, sm.P99Latency = p[0], p[1], p[2]
+				sm.P50Latency, sm.P95Latency, sm.P99Latency = stats.Percentiles3(sm.Latencies)
 			}
 		}
 		rm := ReplicaMetrics{
@@ -363,7 +401,8 @@ func Serve(cfg Config, reqs []engine.TimedRequest) (Metrics, error) {
 			rm.BusyTime += m.TotalTime()
 		}
 		out.Replicas = append(out.Replicas, rm)
-		out.Served += len(sm.Requests)
+		out.Served += sm.Served
+		out.Events += sm.Events
 		out.DeadlinesMet += sm.DeadlinesMet
 		out.DeadlinesTotal += sm.DeadlinesTotal
 		out.TotalEnergy += sm.TotalEnergy
@@ -379,8 +418,7 @@ func Serve(cfg Config, reqs []engine.TimedRequest) (Metrics, error) {
 	}
 	if len(latencies) > 0 {
 		out.MeanLatency = stats.Mean(latencies)
-		p := stats.Percentiles(latencies, 50, 95, 99)
-		out.P50Latency, out.P95Latency, out.P99Latency = p[0], p[1], p[2]
+		out.P50Latency, out.P95Latency, out.P99Latency = stats.Percentiles3(latencies)
 	}
 	out.Imbalance = imbalance(busy)
 	if as != nil {
@@ -389,12 +427,13 @@ func Serve(cfg Config, reqs []engine.TimedRequest) (Metrics, error) {
 	return out, nil
 }
 
-// dispatch routes the sorted stream through the ingress queue: requests
-// enter the shared queue as the clock passes their arrivals, and
-// whenever a replica can accept work the admission discipline picks
-// which waiting request goes next. The dispatch clock is monotone — a
-// request is never dispatched before an earlier decision's time.
-func dispatch(ro *router, as *autoscaler, admission Admission, stream []engine.TimedRequest, out *Metrics) error {
+// dispatch routes the arrival-ordered stream through the ingress queue:
+// requests are pulled from the source and enter the shared queue as the
+// clock passes their arrivals, and whenever a replica can accept work
+// the admission discipline picks which waiting request goes next. The
+// dispatch clock is monotone — a request is never dispatched before an
+// earlier decision's time.
+func dispatch(ro *router, as *autoscaler, admission Admission, stream *engine.Peekable, delays *map[string]float64, out *Metrics) error {
 	q := &ingress{discipline: admission}
 	drop := func(tr engine.TimedRequest) {
 		out.Dropped++
@@ -406,17 +445,28 @@ func dispatch(ro *router, as *autoscaler, admission Admission, stream []engine.T
 		out.Shed++
 		drop(tr)
 	}
+	// admitUntil moves every stream request arriving at or before t into
+	// the shared queue, counting it as offered.
+	admitUntil := func(t float64) {
+		for {
+			tr, ok := stream.Peek()
+			if !ok || tr.Arrival > t {
+				return
+			}
+			stream.Next()
+			out.Offered++
+			q.push(tr)
+		}
+	}
 
-	i := 0 // next stream index not yet in the queue
 	now := 0.0
-	for i < len(stream) || q.len() > 0 {
-		if q.len() == 0 && stream[i].Arrival > now {
-			now = stream[i].Arrival
+	for stream.More() || q.len() > 0 {
+		if q.len() == 0 {
+			if tr, ok := stream.Peek(); ok && tr.Arrival > now {
+				now = tr.Arrival
+			}
 		}
-		for i < len(stream) && stream[i].Arrival <= now {
-			q.push(stream[i])
-			i++
-		}
+		admitUntil(now)
 		if as != nil {
 			if err := as.observe(ro, q, now); err != nil {
 				return err
@@ -436,18 +486,20 @@ func dispatch(ro *router, as *autoscaler, admission Admission, stream []engine.T
 				continue
 			}
 			q.drain(drop)
-			for ; i < len(stream); i++ {
-				drop(stream[i])
+			for {
+				tr, ok := stream.Next()
+				if !ok {
+					break
+				}
+				out.Offered++
+				drop(tr)
 			}
 			return nil
 		}
 		// Arrivals during the capacity wait join the queue before the
 		// discipline picks, so a reordering ingress sees everything that
 		// is actually waiting at dispatch time.
-		for i < len(stream) && stream[i].Arrival <= t {
-			q.push(stream[i])
-			i++
-		}
+		admitUntil(t)
 		if admission == Shed {
 			q.dropLate(t, shed)
 			if q.len() == 0 {
@@ -475,7 +527,10 @@ func dispatch(ro *router, as *autoscaler, admission Admission, stream []engine.T
 		adjusted := tr
 		adjusted.Arrival = t
 		if t > tr.Arrival {
-			r.delays[tr.ID] = t - tr.Arrival
+			if *delays == nil {
+				*delays = make(map[string]float64)
+			}
+			(*delays)[tr.ID] = t - tr.Arrival
 		}
 		r.take(adjusted, t)
 		now = t

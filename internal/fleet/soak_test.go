@@ -1,0 +1,47 @@
+package fleet
+
+import (
+	"testing"
+
+	"edgereasoning/internal/workload"
+)
+
+// TestSoakStreamConservation streams a large open-loop workload through
+// the fleet ingress — generated lazily, never materialized — and checks
+// the conservation invariant end to end: every request that entered the
+// ingress is accounted for as served or dropped. Run under -race in CI
+// (the soak-smoke step) it also exercises the concurrent replica drain
+// at a scale the unit tests never reach. The deadline slack plus shed
+// admission keeps both sides of the ledger non-trivial: an overloaded
+// pool must actually drop work for the invariant to mean anything.
+func TestSoakStreamConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1e5-request soak; skipped in -short")
+	}
+	const requests = 100_000
+	// 4 QPS across two small replicas is a sustained overload; the tight
+	// slack makes shed admission exercise the Dropped path.
+	profile := workload.InteractiveAssistant(4, requests)
+	profile.DeadlineSlack = 2
+	profile.DeadlineSlackMax = 6
+	src, err := workload.NewSource(profile, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := homogeneousFleet(2, LeastQueue)
+	cfg.Admission = Shed
+	m, err := ServeSource(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Offered != requests {
+		t.Fatalf("Offered = %d, want %d (stream truncated?)", m.Offered, requests)
+	}
+	if m.Served+m.Dropped != m.Offered {
+		t.Fatalf("conservation violated: Served %d + Dropped %d != Offered %d",
+			m.Served, m.Dropped, m.Offered)
+	}
+	if m.Served == 0 || m.Dropped == 0 {
+		t.Fatalf("degenerate soak: Served %d, Dropped %d — want both paths exercised", m.Served, m.Dropped)
+	}
+}

@@ -65,14 +65,28 @@ type sequence struct {
 
 // Cache is a paged KV cache. It is not safe for concurrent use; the
 // engine serializes access.
+//
+// Block storage is watermark-allocated: len(refcount) is the number of
+// blocks ever grabbed, and blocks past it are untouched capacity that
+// costs no memory until used. Construction is therefore O(1) and a
+// cache's footprint scales with its peak occupancy, not its configured
+// capacity — a fleet can provision replicas with multi-GB KV budgets
+// without materializing multi-MB bookkeeping per engine. Grab order is
+// identical to the historical fully-materialized free list (recycled
+// blocks LIFO first, then fresh indices ascending), so block-index
+// sequences — and everything downstream that depends on them — are
+// byte-for-byte unchanged.
 type Cache struct {
 	cfg      Config
-	refcount []int // per-block; 0 = free
-	free     []int // free-list (LIFO)
+	refcount []int // per grabbed block; 0 = free; len is the watermark
+	free     []int // recycled blocks below the watermark (LIFO)
 	seqs     map[string]*sequence
 	// pool recycles freed sequence shells (and their block-table
 	// capacity) so steady-state admit/free churn is allocation-free.
 	pool []*sequence
+	// tableCap is the largest block-table reservation seen; new tables
+	// are sized to it so recycled shells fit any typical sequence.
+	tableCap int
 	// peakUsed tracks the high-water mark of allocated blocks.
 	peakUsed int
 	// shared counts blocks with refcount > 1, maintained incrementally at
@@ -81,24 +95,17 @@ type Cache struct {
 	// indexRefs, when non-nil, counts per-block references held by an
 	// attached PrefixIndex (retained prefixes with no owning sequence),
 	// so CheckInvariants can reconcile refcounts that no sequence holds.
+	// Like refcount it is watermark-sized, growing on first touch.
 	indexRefs []int
 }
 
-// New builds an empty cache.
+// New builds an empty cache in O(1): no per-block state is materialized
+// until blocks are actually grabbed.
 func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Cache{
-		cfg:      cfg,
-		refcount: make([]int, cfg.NumBlocks),
-		free:     make([]int, 0, cfg.NumBlocks),
-		seqs:     make(map[string]*sequence),
-	}
-	for i := cfg.NumBlocks - 1; i >= 0; i-- {
-		c.free = append(c.free, i)
-	}
-	return c, nil
+	return &Cache{cfg: cfg, seqs: make(map[string]*sequence)}, nil
 }
 
 // blocksFor returns the block count holding n tokens.
@@ -109,15 +116,29 @@ func (c *Cache) blocksFor(n int) int {
 	return (n + c.cfg.BlockSize - 1) / c.cfg.BlockSize
 }
 
-// grab pops one free block, or fails.
+// grab pops one free block, or fails: recycled blocks LIFO first, then a
+// fresh index from under the watermark — the same order the historical
+// materialized free list produced.
 func (c *Cache) grab() (int, error) {
-	if len(c.free) == 0 {
+	var b int
+	switch {
+	case len(c.free) > 0:
+		b = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+		c.refcount[b] = 1
+	case len(c.refcount) < c.cfg.NumBlocks:
+		b = len(c.refcount)
+		if c.refcount == nil {
+			// Seed the watermark array at a 64-block floor so the early
+			// growth doublings (1, 2, 4, ...) never happen; past the floor
+			// append's geometric growth takes over.
+			c.refcount = make([]int, 0, min(64, c.cfg.NumBlocks))
+		}
+		c.refcount = append(c.refcount, 1)
+	default:
 		return 0, ErrOutOfBlocks
 	}
-	b := c.free[len(c.free)-1]
-	c.free = c.free[:len(c.free)-1]
-	c.refcount[b] = 1
-	if used := c.cfg.NumBlocks - len(c.free); used > c.peakUsed {
+	if used := c.cfg.NumBlocks - c.FreeBlocks(); used > c.peakUsed {
 		c.peakUsed = used
 	}
 	return b, nil
@@ -147,6 +168,9 @@ func (c *Cache) release(b int) {
 	}
 	c.refcount[b]--
 	if c.refcount[b] == 0 {
+		if c.free == nil {
+			c.free = make([]int, 0, min(64, c.cfg.NumBlocks))
+		}
 		c.free = append(c.free, b)
 	}
 }
@@ -154,14 +178,27 @@ func (c *Cache) release(b int) {
 // Allocate reserves blocks for a new sequence of the given token length.
 // On failure nothing is allocated.
 func (c *Cache) Allocate(seqID string, tokens int) error {
+	return c.AllocateReserve(seqID, tokens, tokens)
+}
+
+// AllocateReserve is Allocate with the sequence's final token length
+// known up front: blocks are grabbed for tokens only, but the block
+// table is sized for reserveTokens so later appends never reallocate it
+// — one table allocation per sequence lifetime, as ReserveH promises,
+// without a grow-then-copy on admission.
+func (c *Cache) AllocateReserve(seqID string, tokens, reserveTokens int) error {
 	if _, ok := c.seqs[seqID]; ok {
 		return ErrSequenceExists
 	}
 	need := c.blocksFor(tokens)
-	if need > len(c.free) {
+	if need > c.FreeBlocks() {
 		return ErrOutOfBlocks
 	}
-	s := c.newSequence(need)
+	capBlocks := c.blocksFor(reserveTokens)
+	if capBlocks < need {
+		capBlocks = need
+	}
+	s := c.newSequence(capBlocks)
 	s.length = tokens
 	for i := 0; i < need; i++ {
 		b, _ := c.grab() // cannot fail: capacity checked above
@@ -174,6 +211,15 @@ func (c *Cache) Allocate(seqID string, tokens int) error {
 // newSequence returns an empty sequence shell with room for capBlocks,
 // recycled from the free pool when possible.
 func (c *Cache) newSequence(capBlocks int) *sequence {
+	// Size every block table to the high-water reservation seen so far:
+	// once one large sequence has passed through, recycled shells fit all
+	// smaller ones and admit/free churn stops reallocating tables whose
+	// sizes merely vary request to request.
+	if capBlocks < c.tableCap {
+		capBlocks = c.tableCap
+	} else {
+		c.tableCap = capBlocks
+	}
 	if n := len(c.pool); n > 0 {
 		s := c.pool[n-1]
 		c.pool[n-1] = nil
@@ -235,11 +281,11 @@ func (c *Cache) appendTokens(s *sequence, n int) error {
 		}
 	}
 	need := c.blocksFor(s.length+n) - len(s.blocks)
-	if need > len(c.free) {
+	if need > c.FreeBlocks() {
 		// Capacity exhausted mid-extension: mirror the token-wise loop's
 		// partial progress — fill the current tail, then grab blocks until
 		// the free list runs dry — and fail at the same point it would.
-		got := len(c.free)
+		got := c.FreeBlocks()
 		fit := (len(s.blocks)+got)*c.cfg.BlockSize - s.length
 		for i := 0; i < got; i++ {
 			b, _ := c.grab()
@@ -369,6 +415,11 @@ func (c *Cache) freeSeq(seqID string, s *sequence) {
 	s.gen++
 	s.blocks = s.blocks[:0]
 	delete(c.seqs, seqID)
+	if c.pool == nil {
+		// The pool peaks at the max live sequence count (~the batch size);
+		// a 16-shell floor skips the early append-growth doublings.
+		c.pool = make([]*sequence, 0, 16)
+	}
 	c.pool = append(c.pool, s)
 }
 
@@ -393,10 +444,22 @@ type Stats struct {
 	SharedBlocks int // blocks with refcount > 1
 }
 
-// FreeBlocks returns the free-list length in O(1). Stats() reports the
-// same number but scans every refcount to count shared blocks, which is
-// too expensive for the engine's per-admission capacity check.
-func (c *Cache) FreeBlocks() int { return len(c.free) }
+// FreeBlocks returns the available capacity in O(1): recycled blocks on
+// the free list plus the untouched region past the watermark. Stats()
+// reports the same number but the engine's per-admission capacity check
+// comes through here.
+func (c *Cache) FreeBlocks() int {
+	return c.cfg.NumBlocks - len(c.refcount) + len(c.free)
+}
+
+// indexRef adjusts the prefix-index reference count for block b, growing
+// the watermark-sized counter array on first touch.
+func (c *Cache) indexRef(b, delta int) {
+	for len(c.indexRefs) <= b {
+		c.indexRefs = append(c.indexRefs, 0)
+	}
+	c.indexRefs[b] += delta
+}
 
 // PeakUsed returns the allocation high-water mark in O(1).
 func (c *Cache) PeakUsed() int { return c.peakUsed }
@@ -405,11 +468,12 @@ func (c *Cache) PeakUsed() int { return c.peakUsed }
 // maintained counter, so the call is O(1); sharedScan is the O(n) audit
 // kept as a test-only cross-check (CheckInvariants compares the two).
 func (c *Cache) Stats() Stats {
-	used := c.cfg.NumBlocks - len(c.free)
+	free := c.FreeBlocks()
+	used := c.cfg.NumBlocks - free
 	blockBytes := int64(c.cfg.BlockSize) * c.cfg.BytesPerToken
 	return Stats{
 		TotalBlocks:  c.cfg.NumBlocks,
-		FreeBlocks:   len(c.free),
+		FreeBlocks:   free,
 		UsedBlocks:   used,
 		PeakUsed:     c.peakUsed,
 		Sequences:    len(c.seqs),
@@ -437,12 +501,17 @@ func (c *Cache) sharedScan() int {
 // match lengths, and the O(1) shared-block counter agrees with a full
 // scan. Used by property tests.
 func (c *Cache) CheckInvariants() error {
-	refs := make([]int, c.cfg.NumBlocks)
+	// Only the watermark region has live state; blocks past it were never
+	// grabbed and can hold no references.
+	refs := make([]int, len(c.refcount))
 	for id, s := range c.seqs {
 		if got, want := len(s.blocks), c.blocksFor(s.length); got != want {
 			return fmt.Errorf("kvcache: seq %s holds %d blocks for %d tokens (want %d)", id, got, s.length, want)
 		}
 		for _, b := range s.blocks {
+			if b >= len(refs) {
+				return fmt.Errorf("kvcache: seq %s holds block %d past watermark %d", id, b, len(refs))
+			}
 			refs[b]++
 		}
 	}
@@ -451,7 +520,12 @@ func (c *Cache) CheckInvariants() error {
 			if n < 0 {
 				return fmt.Errorf("kvcache: block %d has negative index refcount %d", b, n)
 			}
-			refs[b] += n
+			if n > 0 && b >= len(refs) {
+				return fmt.Errorf("kvcache: index holds block %d past watermark %d", b, len(refs))
+			}
+			if b < len(refs) {
+				refs[b] += n
+			}
 		}
 	}
 	onFree := make(map[int]bool, len(c.free))

@@ -87,7 +87,9 @@ func NewPrefixIndex(c *Cache) *PrefixIndex {
 	if c.indexRefs != nil {
 		panic("kvcache: cache already has a prefix index attached")
 	}
-	c.indexRefs = make([]int, c.cfg.NumBlocks)
+	// Non-nil zero-length sentinel: marks the index attached while growing
+	// lazily with the watermark via Cache.indexRef.
+	c.indexRefs = make([]int, 0)
 	return &PrefixIndex{c: c, entries: make(map[uint64]*prefixEntry)}
 }
 
@@ -190,7 +192,7 @@ func (ix *PrefixIndex) Release(h Handle, promptSyms, outputSyms []uint64) error 
 			e = ix.newEntry()
 			*e = prefixEntry{hash: hh, block: s.blocks[k], parent: parent, lastUse: ix.tick}
 			ix.c.retain(e.block)
-			ix.c.indexRefs[e.block]++
+			ix.c.indexRef(e.block, 1)
 			ix.entries[hh] = e
 			ix.mut++
 			if parent != nil {
@@ -214,7 +216,7 @@ func (ix *PrefixIndex) Release(h Handle, promptSyms, outputSyms []uint64) error 
 // immediately (the block frees when the sequence does), so the loop keeps
 // going until the target is met or the index is drained.
 func (ix *PrefixIndex) EnsureFree(n int) {
-	for len(ix.c.free) < n {
+	for ix.c.FreeBlocks() < n {
 		if !ix.evictOne() {
 			return
 		}
@@ -231,7 +233,7 @@ func (ix *PrefixIndex) evictOne() bool {
 	ix.lruRemove(e)
 	delete(ix.entries, e.hash)
 	ix.mut++
-	ix.c.indexRefs[e.block]--
+	ix.c.indexRef(e.block, -1)
 	ix.c.release(e.block)
 	ix.m.Retained--
 	ix.m.Evictions++

@@ -19,7 +19,6 @@ package session
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"edgereasoning/internal/engine"
 	"edgereasoning/internal/stats"
@@ -125,27 +124,21 @@ func AgentLoop(sessions, turns, branch int) Profile {
 // Generate synthesizes the merged session stream deterministically in
 // (profile, seed), sorted by arrival. Every request carries SessionID
 // and token identities; engines without a prefix cache simply ignore
-// them.
+// them. It is a thin collector over NewSource; callers that never need
+// the whole slice at once should pull from the Source directly.
 func Generate(p Profile, seed uint64) ([]engine.TimedRequest, error) {
-	if err := p.Validate(); err != nil {
+	src, err := NewSource(p, seed)
+	if err != nil {
 		return nil, err
 	}
-	shared := stats.NewRNG(seed, fmt.Sprintf("session/shared/n%d", p.Sessions))
-	system := make([]uint64, p.SystemPromptTokens)
-	for i := range system {
-		system[i] = symOf(shared)
+	out := make([]engine.TimedRequest, 0, p.Sessions*p.Turns*2)
+	for {
+		tr, ok := src.Next()
+		if !ok {
+			return out, nil
+		}
+		out = append(out, tr)
 	}
-
-	var out []engine.TimedRequest
-	start := 0.0
-	for si := 0; si < p.Sessions; si++ {
-		// Session starts follow a Poisson process on the shared stream.
-		start += expSample(shared, 1/p.StartRate)
-		rng := stats.NewRNG(seed, fmt.Sprintf("session/%d", si))
-		out = append(out, generateSession(p, si, start, system, rng)...)
-	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
-	return out, nil
 }
 
 // generateSession emits one session's think/act requests against its

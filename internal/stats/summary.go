@@ -94,6 +94,14 @@ func Percentiles(xs []float64, ps ...float64) []float64 {
 	return out
 }
 
+// Percentiles3 returns the 50th, 95th, and 99th percentiles — the
+// latency triple every serving fold reports — without allocating a
+// result slice. Values are identical to Percentiles(xs, 50, 95, 99).
+func Percentiles3(xs []float64) (p50, p95, p99 float64) {
+	sorted := sortedFinite(xs)
+	return percentileSorted(sorted, 50), percentileSorted(sorted, 95), percentileSorted(sorted, 99)
+}
+
 // sortedFinite returns a sorted copy of the finite samples in xs.
 func sortedFinite(xs []float64) []float64 {
 	sorted := make([]float64, 0, len(xs))

@@ -9,10 +9,8 @@ package workload
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"edgereasoning/internal/engine"
-	"edgereasoning/internal/stats"
 )
 
 // Profile shapes a request stream.
@@ -61,46 +59,21 @@ func (p Profile) Validate() error {
 }
 
 // Generate synthesizes the stream deterministically in (profile, seed).
+// It is a thin collector over NewSource; callers that never need the
+// whole slice at once should pull from the Source directly.
 func Generate(p Profile, seed uint64) ([]engine.TimedRequest, error) {
-	if err := p.Validate(); err != nil {
+	src, err := NewSource(p, seed)
+	if err != nil {
 		return nil, err
 	}
-	rng := stats.NewRNG(seed, fmt.Sprintf("workload/qps%.3f/n%d", p.QPS, p.N))
-	out := make([]engine.TimedRequest, p.N)
-	clock := 0.0
-	for i := range out {
-		// Exponential inter-arrival times (Poisson process).
-		u := rng.Float64()
-		for u == 0 {
-			u = rng.Float64()
+	out := make([]engine.TimedRequest, 0, p.N)
+	for {
+		tr, ok := src.Next()
+		if !ok {
+			return out, nil
 		}
-		clock += -math.Log(u) / p.QPS
-		prompt := int(rng.LogNormalMean(p.PromptMean, p.PromptSigma))
-		if prompt < 8 {
-			prompt = 8
-		}
-		output := int(rng.LogNormalMean(p.OutputMean, p.OutputSigma))
-		if output < 1 {
-			output = 1
-		}
-		tr := engine.TimedRequest{
-			Request: engine.Request{
-				ID:           fmt.Sprintf("w%d", i),
-				PromptTokens: prompt,
-				OutputTokens: output,
-			},
-			Arrival: clock,
-		}
-		if p.DeadlineSlack > 0 {
-			slack := p.DeadlineSlack
-			if p.DeadlineSlackMax > p.DeadlineSlack {
-				slack += rng.Float64() * (p.DeadlineSlackMax - p.DeadlineSlack)
-			}
-			tr.Deadline = clock + slack
-		}
-		out[i] = tr
+		out = append(out, tr)
 	}
-	return out, nil
 }
 
 // Bursty synthesizes a steady background stream with a traffic spike
@@ -111,33 +84,21 @@ func Generate(p Profile, seed uint64) ([]engine.TimedRequest, error) {
 // arrival. This is the elastic-pool stress shape: a fixed fleet sized
 // for the background drowns in the burst, one sized for the burst idles
 // the rest of the time.
+// Like Generate it is a thin collector — NewBurstySource streams the
+// same merged sequence lazily.
 func Bursty(background, burst Profile, burstStart float64, seed uint64) ([]engine.TimedRequest, error) {
-	if math.IsNaN(burstStart) || math.IsInf(burstStart, 0) || burstStart < 0 {
-		return nil, fmt.Errorf("workload: burst start must be finite and non-negative")
-	}
-	steady, err := Generate(background, seed)
+	src, err := NewBurstySource(background, burst, burstStart, seed)
 	if err != nil {
-		return nil, fmt.Errorf("workload: background: %w", err)
+		return nil, err
 	}
-	spike, err := Generate(burst, seed^0x9e3779b97f4a7c15)
-	if err != nil {
-		return nil, fmt.Errorf("workload: burst: %w", err)
-	}
-	out := make([]engine.TimedRequest, 0, len(steady)+len(spike))
-	for _, tr := range steady {
-		tr.ID = "s" + tr.ID
-		out = append(out, tr)
-	}
-	for _, tr := range spike {
-		tr.ID = "b" + tr.ID
-		tr.Arrival += burstStart
-		if tr.Deadline > 0 {
-			tr.Deadline += burstStart
+	out := make([]engine.TimedRequest, 0, background.N+burst.N)
+	for {
+		tr, ok := src.Next()
+		if !ok {
+			return out, nil
 		}
 		out = append(out, tr)
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
-	return out, nil
 }
 
 // InteractiveAssistant is a short-output conversational profile (direct

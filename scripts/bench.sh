@@ -10,9 +10,11 @@
 # The tracked targets are the serving hot loop (engine.Serve / engine.Run
 # over a long-generation open-loop stream), the session-serving loop
 # (multi-turn agentic stream, warm prefix cache vs cold), the KV-cache
-# append paths (bulk handle-based vs per-token), and the elastic-fleet
-# serving path (fleet.Serve with autoscaling and shed admission). Only
-# allocs/op is gated — it is deterministic across machines — while ns/op
+# append paths (bulk handle-based vs per-token), the elastic-fleet
+# serving path (fleet.Serve with autoscaling and shed admission), and
+# the million-request streamed soak (engine.ServeSource over a lazy
+# workload source; sim-events/s and live heap ride along as custom
+# metrics). Only allocs/op is gated — it is deterministic across machines — while ns/op
 # is recorded for the before/after table in the README. The
 # pre-optimization reference in BENCH_serve.json's "pre_pr" section is
 # preserved across updates, and each update also appends a per-PR
@@ -27,6 +29,10 @@ MODE="${1:-check}"
 run_benches() {
   go test -run '^$' -bench 'BenchmarkServeHotLoop$|BenchmarkRunHotLoop$|BenchmarkSessionServe$' \
     -benchmem -benchtime "$BENCHTIME" -count 1 ./internal/engine
+  # The soak streams 1e6 requests per op (~2s); one iteration is enough
+  # signal and keeps the suite fast at any -benchtime.
+  go test -run '^$' -bench 'BenchmarkSoakServe$' \
+    -benchmem -benchtime 1x -count 1 ./internal/engine
   go test -run '^$' -bench 'BenchmarkKVAppend$|BenchmarkKVAppendToken$' \
     -benchmem -benchtime "$BENCHTIME" -count 1 ./internal/kvcache
   go test -run '^$' -bench 'BenchmarkAutoscaleServe$' \
