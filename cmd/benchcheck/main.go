@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Measurement is one benchmark target's recorded numbers.
@@ -76,13 +77,20 @@ type File struct {
 //	BenchmarkSoakServe   1   1672420452 ns/op   8.121 live-heap-MB   1893551 sim-events/s   65732960 B/op   1999923 allocs/op
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op.*?\s([0-9]+) B/op\s+([0-9]+) allocs/op`)
 
-// parseBench extracts measurements from raw benchmark output.
+// parseBench extracts measurements from raw benchmark output. A line
+// that names a Benchmark and carries ns/op but fails the full pattern
+// is an error, not a skip: dropping it would silently lose the target —
+// and under -update a lost target rewrites the baseline without it,
+// retiring its own regression gate.
 func parseBench(r io.Reader) (map[string]Measurement, error) {
 	out := make(map[string]Measurement)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
 		if m == nil {
+			if line := sc.Text(); strings.HasPrefix(line, "Benchmark") && strings.Contains(line, "ns/op") {
+				return nil, fmt.Errorf("benchcheck: malformed benchmark line %q (truncated or missing -benchmem columns?)", line)
+			}
 			continue
 		}
 		ns, err := strconv.ParseFloat(m[2], 64)

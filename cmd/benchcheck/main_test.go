@@ -50,6 +50,36 @@ func TestParseBenchEmpty(t *testing.T) {
 	}
 }
 
+// TestParseBenchMalformedLineErrors pins the loud-failure contract: a
+// line that claims to be a benchmark result but cannot be parsed in
+// full must abort the parse rather than silently dropping the target
+// (which, under -update, would rewrite the baseline without it and
+// retire its own gate).
+func TestParseBenchMalformedLineErrors(t *testing.T) {
+	cases := []struct {
+		name, line string
+	}{
+		{"truncated after B/op", "BenchmarkServeHotLoop-8 \t35095\t     97204 ns/op\t   32184 B/"},
+		{"truncated before B/op", "BenchmarkServeHotLoop-8 \t35095\t     97204 ns/op"},
+		{"missing allocs column", "BenchmarkServeHotLoop-8 \t35095\t     97204 ns/op\t   32184 B/op"},
+		{"no -benchmem columns", "BenchmarkTieredServe-8 \t721\t   1620042 ns/op"},
+	}
+	for _, tc := range cases {
+		in := "goos: linux\n" + sampleBench[:strings.Index(sampleBench, "PASS")] + tc.line + "\nPASS\n"
+		if _, err := parseBench(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: malformed line %q parsed without error", tc.name, tc.line)
+		} else if !strings.Contains(err.Error(), "malformed benchmark line") {
+			t.Errorf("%s: error %q does not name the malformed line", tc.name, err)
+		}
+	}
+	// Non-result chatter (progress names, test framework lines) must
+	// still pass through silently.
+	benign := "BenchmarkServeHotLoop\n--- BENCH: BenchmarkServeHotLoop-8\n" + sampleBench
+	if got, err := parseBench(strings.NewReader(benign)); err != nil || len(got) != 3 {
+		t.Errorf("benign non-result lines rejected: %v (%d targets)", err, len(got))
+	}
+}
+
 func TestCheckPassAndFail(t *testing.T) {
 	baseline := map[string]Measurement{
 		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 60},

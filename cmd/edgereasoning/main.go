@@ -8,6 +8,7 @@
 //	edgereasoning all [flags]          # run the full suite
 //	edgereasoning fleet [flags]        # heterogeneous-fleet serving sweep
 //	edgereasoning sessions [flags]     # multi-turn agentic serving study
+//	edgereasoning tiering [flags]      # host-DRAM KV tier vs device-cache size
 //	edgereasoning autoscale [flags]    # elastic fleet + ingress admission study
 //	edgereasoning saturate [flags]     # saturation-knee capacity analysis
 //	edgereasoning soak [flags]         # streamed large-N soak (sim-events/sec)
@@ -28,9 +29,12 @@
 //	-devices L    comma-separated device cycle (fleet and autoscale)
 //	-policy P     routing policy or "all" (fleet and sessions)
 //	-qps Q        offered load in requests/s (fleet; autoscale background load)
-//	-sessions N   concurrent sessions (sessions only; default 10)
-//	-turns N      agent-loop turns per session (sessions only; default 5)
-//	-branch N     parallel think samples at branch turns (sessions only; default 2)
+//	-sessions N   concurrent sessions (sessions and tiering; default 10)
+//	-turns N      agent-loop turns per session (sessions and tiering; default 5)
+//	-branch N     parallel think samples at branch turns (sessions and tiering; default 2)
+//	-device-blocks L comma-separated device-cache sweep in blocks (tiering only; default 192,384,768)
+//	-host-blocks N   host-tier capacity in blocks (tiering only; default 1024)
+//	-bw B            host-link bandwidth in bytes/s (tiering only; default 16e9)
 //	-min N        autoscale pool floor (autoscale only; default 1)
 //	-max N        autoscale pool ceiling (autoscale only; default 6)
 //	-admission D  ingress discipline: fifo | edf | sjf | shed (autoscale only)
@@ -109,7 +113,7 @@ func run(args []string) error {
 		if len(rest) == 0 {
 			return fmt.Errorf("run: missing experiment id")
 		}
-		cfg, err := parseFlags(rest[1:], false, false, false, false)
+		cfg, err := parseFlags(rest[1:], false, false, false, false, false)
 		if err != nil {
 			return err
 		}
@@ -118,7 +122,7 @@ func run(args []string) error {
 		}
 		return execute([]string{rest[0]}, cfg)
 	case "all":
-		cfg, err := parseFlags(rest, false, false, false, false)
+		cfg, err := parseFlags(rest, false, false, false, false, false)
 		if err != nil {
 			return err
 		}
@@ -127,7 +131,7 @@ func run(args []string) error {
 		}
 		return execute(experiments.IDs(), cfg)
 	case "fleet":
-		cfg, err := parseFlags(rest, true, false, false, false)
+		cfg, err := parseFlags(rest, true, false, false, false, false)
 		if err != nil {
 			return err
 		}
@@ -136,7 +140,7 @@ func run(args []string) error {
 		}
 		return execute([]string{"fleet"}, cfg)
 	case "sessions":
-		cfg, err := parseFlags(rest, false, true, false, false)
+		cfg, err := parseFlags(rest, false, true, false, false, false)
 		if err != nil {
 			return err
 		}
@@ -144,8 +148,17 @@ func run(args []string) error {
 			return fmt.Errorf("sessions: -seeds only applies to sweep (use -seed)")
 		}
 		return execute([]string{"sessions"}, cfg)
+	case "tiering":
+		cfg, err := parseFlags(rest, false, false, false, false, true)
+		if err != nil {
+			return err
+		}
+		if cfg.seedsSet {
+			return fmt.Errorf("tiering: -seeds only applies to sweep (use -seed)")
+		}
+		return execute([]string{"tiering"}, cfg)
 	case "autoscale":
-		cfg, err := parseFlags(rest, false, false, true, false)
+		cfg, err := parseFlags(rest, false, false, true, false, false)
 		if err != nil {
 			return err
 		}
@@ -154,7 +167,7 @@ func run(args []string) error {
 		}
 		return execute([]string{"autoscale"}, cfg)
 	case "saturate":
-		cfg, err := parseFlags(rest, false, false, false, true)
+		cfg, err := parseFlags(rest, false, false, false, true, false)
 		if err != nil {
 			return err
 		}
@@ -168,7 +181,7 @@ func run(args []string) error {
 		if len(rest) == 0 {
 			return fmt.Errorf("sweep: missing experiment id")
 		}
-		cfg, err := parseFlags(rest[1:], false, false, false, false)
+		cfg, err := parseFlags(rest[1:], false, false, false, false, false)
 		if err != nil {
 			return err
 		}
@@ -186,9 +199,9 @@ func run(args []string) error {
 }
 
 // parseFlags parses the shared flag set; withFleet, withSessions,
-// withAutoscale, and withSaturate additionally register their
-// subcommands' knobs.
-func parseFlags(args []string, withFleet, withSessions, withAutoscale, withSaturate bool) (config, error) {
+// withAutoscale, withSaturate, and withTiering additionally register
+// their subcommands' knobs.
+func parseFlags(args []string, withFleet, withSessions, withAutoscale, withSaturate, withTiering bool) (config, error) {
 	fs := flag.NewFlagSet("edgereasoning", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 7, "random seed")
 	quick := fs.Bool("quick", false, "subsample large banks")
@@ -210,11 +223,21 @@ func parseFlags(args []string, withFleet, withSessions, withAutoscale, withSatur
 	}
 	var sessionCount, sessionTurns, sessionBranch *int
 	var sessionPolicy *string
-	if withSessions {
+	if withSessions || withTiering {
 		sessionCount = fs.Int("sessions", 0, "concurrent sessions (0 = driver default of 10)")
 		sessionTurns = fs.Int("turns", 0, "agent-loop turns per session (0 = driver default of 5)")
 		sessionBranch = fs.Int("branch", 0, "parallel think samples at branch turns (0 = driver default of 2)")
+	}
+	if withSessions {
 		sessionPolicy = fs.String("policy", "all", "affinity-table routing policy (round-robin, least-queue, session-affinity, all)")
+	}
+	var tierDeviceBlocks *string
+	var tierHostBlocks *int
+	var tierBW *float64
+	if withTiering {
+		tierDeviceBlocks = fs.String("device-blocks", "", "comma-separated device-cache sweep in blocks (default 192,384,768)")
+		tierHostBlocks = fs.Int("host-blocks", 0, "host-tier capacity in blocks (0 = driver default of 1024)")
+		tierBW = fs.Float64("bw", 0, "host-link bandwidth in bytes/s (0 = driver default of 16e9)")
 	}
 	var satSLO *float64
 	var satMetric *string
@@ -266,19 +289,37 @@ func parseFlags(args []string, withFleet, withSessions, withAutoscale, withSatur
 		cfg.opts.FleetPolicy = *policy
 		cfg.opts.FleetQPS = *qps
 	}
+	if withSessions || withTiering {
+		if *sessionCount < 0 || *sessionTurns < 0 || *sessionBranch < 0 {
+			return config{}, fmt.Errorf("-sessions, -turns, and -branch must be non-negative")
+		}
+		cfg.opts.SessionCount = *sessionCount
+		cfg.opts.SessionTurns = *sessionTurns
+		cfg.opts.SessionBranch = *sessionBranch
+	}
 	if withSessions {
 		if *sessionPolicy != "" && *sessionPolicy != "all" {
 			if _, err := fleet.ParsePolicy(*sessionPolicy); err != nil {
 				return config{}, err
 			}
 		}
-		if *sessionCount < 0 || *sessionTurns < 0 || *sessionBranch < 0 {
-			return config{}, fmt.Errorf("sessions: -sessions, -turns, and -branch must be non-negative")
-		}
-		cfg.opts.SessionCount = *sessionCount
-		cfg.opts.SessionTurns = *sessionTurns
-		cfg.opts.SessionBranch = *sessionBranch
 		cfg.opts.SessionPolicy = *sessionPolicy
+	}
+	if withTiering {
+		// Validate the sweep spelling here so a typo fails before any
+		// engine spins up.
+		if _, err := experiments.ParseDeviceBlocks(*tierDeviceBlocks); err != nil {
+			return config{}, err
+		}
+		if *tierHostBlocks < 0 {
+			return config{}, fmt.Errorf("tiering: -host-blocks must be non-negative")
+		}
+		if *tierBW < 0 {
+			return config{}, fmt.Errorf("tiering: -bw must be non-negative")
+		}
+		cfg.opts.TierDeviceBlocks = *tierDeviceBlocks
+		cfg.opts.TierHostBlocks = *tierHostBlocks
+		cfg.opts.TierLinkBW = *tierBW
 	}
 	if withSaturate {
 		if *satMetric != "" && *satMetric != "p99" && *satMetric != "hitrate" {
@@ -656,6 +697,7 @@ commands:
   all [flags]          run the full suite
   fleet [flags]        route open-loop traffic across a heterogeneous fleet
   sessions [flags]     multi-turn agentic serving with prefix KV caching
+  tiering [flags]      host-DRAM KV tier swept against device-cache size
   autoscale [flags]    elastic replica pool + ingress admission disciplines
   saturate [flags]     binary-search offered QPS to the SLO saturation knee
   soak [flags]         stream a large open-loop run end to end (sim-events/sec)
@@ -678,9 +720,12 @@ flags:
                 sessions: round-robin | least-queue | session-affinity | all
   -qps Q        offered load in requests/s (fleet: default 2.0;
                 autoscale: background load, default 0.2, spike is 100x)
-  -sessions N   concurrent sessions (sessions only; default 10)
-  -turns N      agent-loop turns per session (sessions only; default 5)
-  -branch N     parallel think samples at branch turns (sessions only; default 2)
+  -sessions N   concurrent sessions (sessions and tiering; default 10)
+  -turns N      agent-loop turns per session (sessions and tiering; default 5)
+  -branch N     parallel think samples at branch turns (sessions and tiering; default 2)
+  -device-blocks L  tiering: device-cache sweep in blocks (default 192,384,768)
+  -host-blocks N    tiering: host-tier capacity in blocks (default 1024)
+  -bw B             tiering: host-link bandwidth in bytes/s (default 16e9)
   -min N        autoscale pool floor (autoscale only; default 1)
   -max N        autoscale pool ceiling (autoscale only; default 6)
   -admission D  autoscale: fifo | edf | sjf | shed (default fifo)

@@ -59,6 +59,19 @@ type Config struct {
 	// unmatched suffix (vLLM automatic-prefix-caching style). Off by
 	// default; requests without PromptSyms are unaffected either way.
 	PrefixCache bool
+	// DeviceBlocks caps the KV cache at this many blocks when positive
+	// and below the DRAM-derived size — the device-memory sweep knob for
+	// tiering studies. Values at or above the derived size are ignored.
+	DeviceBlocks int
+	// HostTierBlocks, when positive, attaches a host-DRAM second tier of
+	// that many blocks behind the prefix index: on device pressure, cold
+	// prefix entries demote to host instead of dropping, and a later
+	// matching request promotes them back, paying the restore cost.
+	// Requires PrefixCache.
+	HostTierBlocks int
+	// HostLinkBandwidth is the host<->device link rate in bytes/second
+	// used to price promotions (default kvcache.DefaultHostLinkBandwidth).
+	HostLinkBandwidth float64
 }
 
 // Request is one generation job. OutputTokens is decided ahead of
@@ -72,12 +85,17 @@ type Request struct {
 
 // Metrics reports one completed request.
 type Metrics struct {
-	ID            string
-	PromptTokens  int
-	OutputTokens  int
-	QueueTime     float64 // seconds waiting for admission
-	PrefillTime   float64
-	DecodeTime    float64
+	ID           string
+	PromptTokens int
+	OutputTokens int
+	QueueTime    float64 // seconds waiting for admission
+	PrefillTime  float64
+	DecodeTime   float64
+	// RestoreTime is the host-link transfer time spent promoting this
+	// request's host-resident prefix blocks back to the device (0 without
+	// a host tier or on a device-only hit). It lands before prefill, so
+	// it is part of the request's TTFT.
+	RestoreTime   float64
 	PrefillEnergy float64 // joules
 	DecodeEnergy  float64
 	// CachedPromptTokens counts prompt tokens served from the prefix
@@ -85,8 +103,13 @@ type Metrics struct {
 	CachedPromptTokens int
 }
 
-// TotalTime is the request's service latency (prefill + decode).
-func (m Metrics) TotalTime() float64 { return m.PrefillTime + m.DecodeTime }
+// TotalTime is the request's service latency (restore + prefill +
+// decode).
+func (m Metrics) TotalTime() float64 { return m.RestoreTime + m.PrefillTime + m.DecodeTime }
+
+// TTFT is the time from admission to the first generated token:
+// host-tier restore plus prefill.
+func (m Metrics) TTFT() float64 { return m.RestoreTime + m.PrefillTime }
 
 // Latency includes queueing.
 func (m Metrics) Latency() float64 { return m.QueueTime + m.TotalTime() }
@@ -177,29 +200,57 @@ func New(cfg Config) (*Engine, error) {
 		cfg.MemReserve = 0.10
 	}
 	cfg.Framework = cfg.Framework.normalized()
+	if cfg.HostTierBlocks > 0 && !cfg.PrefixCache {
+		return nil, fmt.Errorf("engine: HostTierBlocks requires PrefixCache (the tier holds prefix entries)")
+	}
 
+	cache, prefix, err := buildCache(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:    cfg,
+		sim:    gpusim.New(cfg.Device),
+		meter:  power.NewMeter(cfg.Device),
+		cache:  cache,
+		prefix: prefix,
+	}, nil
+}
+
+// buildCache sizes the KV cache from leftover DRAM (capped by
+// DeviceBlocks when set) and attaches the prefix index and host tier
+// per cfg. New and Reset share it so a reset engine is sized exactly
+// like a fresh one.
+func buildCache(cfg Config) (*kvcache.Cache, *kvcache.PrefixIndex, error) {
 	weights := cfg.Spec.Arch.WeightBytes(cfg.Spec.DType)
 	reserve := int64(float64(cfg.Device.MemCapacity) * cfg.MemReserve)
 	kvBudget := cfg.Device.MemCapacity - weights - reserve
 	if kvBudget <= 0 {
-		return nil, fmt.Errorf("engine: %s (%0.1f GB weights) does not fit %s",
+		return nil, nil, fmt.Errorf("engine: %s (%0.1f GB weights) does not fit %s",
 			cfg.Spec.ID, float64(weights)/1e9, cfg.Device.Name)
 	}
 	cacheCfg := kvcache.ConfigForMemory(kvBudget, cfg.BlockSize, cfg.Spec.Arch.KVBytesPerToken())
+	if cfg.DeviceBlocks > 0 && cfg.DeviceBlocks < cacheCfg.NumBlocks {
+		cacheCfg.NumBlocks = cfg.DeviceBlocks
+	}
 	cache, err := kvcache.New(cacheCfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	e := &Engine{
-		cfg:   cfg,
-		sim:   gpusim.New(cfg.Device),
-		meter: power.NewMeter(cfg.Device),
-		cache: cache,
-	}
+	var prefix *kvcache.PrefixIndex
 	if cfg.PrefixCache {
-		e.prefix = kvcache.NewPrefixIndex(cache)
+		prefix = kvcache.NewPrefixIndex(cache)
+		if cfg.HostTierBlocks > 0 {
+			err := prefix.AttachHostTier(kvcache.HostTierConfig{
+				Blocks:        cfg.HostTierBlocks,
+				LinkBandwidth: cfg.HostLinkBandwidth,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+		}
 	}
-	return e, nil
+	return cache, prefix, nil
 }
 
 // Spec returns the engine's model.
@@ -216,17 +267,12 @@ func (e *Engine) Clock() float64 { return e.clock }
 
 // Reset rewinds the clock and empties the cache.
 func (e *Engine) Reset() error {
-	cacheCfg := kvcache.ConfigForMemory(
-		e.cfg.Device.MemCapacity-e.cfg.Spec.Arch.WeightBytes(e.cfg.Spec.DType)-int64(float64(e.cfg.Device.MemCapacity)*e.cfg.MemReserveFrac()),
-		e.cfg.BlockSize, e.cfg.Spec.Arch.KVBytesPerToken())
-	cache, err := kvcache.New(cacheCfg)
+	cache, prefix, err := buildCache(e.cfg)
 	if err != nil {
 		return err
 	}
 	e.cache = cache
-	if e.cfg.PrefixCache {
-		e.prefix = kvcache.NewPrefixIndex(cache)
-	}
+	e.prefix = prefix
 	e.clock = 0
 	return nil
 }
@@ -605,6 +651,17 @@ func (e *Engine) PrefixMetrics() kvcache.PrefixMetrics {
 		return kvcache.PrefixMetrics{}
 	}
 	return e.prefix.Metrics()
+}
+
+// PeekPrefix reports how many leading blocks of syms are resident on
+// the device and host tiers, without perturbing recency (both zero
+// without a prefix cache). Routing layers use it to rank replicas by
+// session warmth.
+func (e *Engine) PeekPrefix(syms []uint64) (deviceBlocks, hostBlocks int) {
+	if e.prefix == nil {
+		return 0, 0
+	}
+	return e.prefix.Peek(syms)
 }
 
 // SimDecodeProbe returns the raw simulator result of a representative

@@ -77,6 +77,12 @@ type ServeMetrics struct {
 	PrefixLookupTokens int
 	// SavedPrefillTokens is the prefill work the prefix cache avoided.
 	SavedPrefillTokens int
+	// HostHits counts admissions whose matched prefix included
+	// host-resident blocks (promoted on acquire); RestoreSeconds is the
+	// host-link transfer time those promotions charged. Both stay zero
+	// without a host tier.
+	HostHits       int
+	RestoreSeconds float64
 }
 
 // PrefixHitRate is the token-weighted cache hit rate — saved prefill
@@ -307,9 +313,13 @@ func (e *Engine) ServeSource(src Source, maxBatch int, policy SchedPolicy, opts 
 					probedBlocks = e.prefix.Probe(syms)
 				}
 				for worstCase-probedBlocks+futureGrowth > e.cache.FreeBlocks() {
-					before := e.prefix.Metrics().Evictions
+					// Progress is measured in reclaimed capacity, not eviction
+					// counts: EnsureFree stops on a zero-reclaim round (shared
+					// leaves), and with a host tier demotions free blocks
+					// without bumping Evictions at all.
+					before := e.cache.FreeBlocks()
 					e.prefix.EnsureFree(worstCase - probedBlocks + futureGrowth)
-					if e.prefix.Metrics().Evictions == before {
+					if e.cache.FreeBlocks() == before {
 						break
 					}
 					if syms != nil {
@@ -325,7 +335,9 @@ func (e *Engine) ServeSource(src Source, maxBatch int, policy SchedPolicy, opts 
 			}
 			ready.popFront()
 			matched := 0
+			restore := 0.0
 			if syms != nil {
+				restoreBefore := e.prefix.Metrics().RestoreSeconds
 				m, err := e.prefix.Acquire(tr.ID, syms)
 				if err != nil {
 					return out, err
@@ -336,6 +348,13 @@ func (e *Engine) ServeSource(src Source, maxBatch int, policy SchedPolicy, opts 
 				if matched > 0 {
 					out.PrefixHits++
 					out.SavedPrefillTokens += matched
+				}
+				// A matched chain segment that had been demoted to host DRAM
+				// was just promoted back; its transfer time lands on this
+				// request's clock, ahead of prefill (part of TTFT).
+				if restore = e.prefix.Metrics().RestoreSeconds - restoreBefore; restore > 0 {
+					out.HostHits++
+					out.RestoreSeconds += restore
 				}
 			} else if err := e.cache.AllocateReserve(tr.ID, tr.PromptTokens,
 				tr.PromptTokens+tr.OutputTokens); err != nil {
@@ -367,7 +386,9 @@ func (e *Engine) ServeSource(src Source, maxBatch int, policy SchedPolicy, opts 
 			}
 			futureGrowth += worstCase - blocksFor(tr.PromptTokens)
 			s.metrics = Metrics{ID: tr.ID, PromptTokens: tr.PromptTokens,
-				OutputTokens: tr.OutputTokens, CachedPromptTokens: matched}
+				OutputTokens: tr.OutputTokens, CachedPromptTokens: matched,
+				RestoreTime: restore}
+			e.clock += restore
 			res, err := e.prefill(tr.PromptTokens - matched)
 			if err != nil {
 				return out, err

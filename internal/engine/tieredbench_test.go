@@ -1,0 +1,49 @@
+// Tiered-serving benchmark: external test package for the same
+// import-cycle reason as sessionbench_test.go.
+package engine_test
+
+import (
+	"testing"
+
+	"edgereasoning/internal/engine"
+	"edgereasoning/internal/hw"
+	"edgereasoning/internal/model"
+	"edgereasoning/internal/session"
+)
+
+// BenchmarkTieredServe is BenchmarkSessionServe on a starved device
+// cache with the host-DRAM tier attached, tracked in BENCH_serve.json:
+// the session stream overflows 192 device blocks, so the run demotes
+// and promotes continuously — the steady state a memory-tight edge
+// deployment lives in. CI gates allocs/op via scripts/bench.sh +
+// cmd/benchcheck.
+func BenchmarkTieredServe(b *testing.B) {
+	reqs, err := session.Generate(session.AgentLoop(8, 4, 2), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := model.MustLookup(model.DSR1Qwen1_5B)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := engine.New(engine.Config{
+			Spec: spec, Device: hw.JetsonAGXOrin64GB(), PrefixCache: true,
+			DeviceBlocks: 192, HostTierBlocks: 1024,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		sm, err := e.Serve(reqs, 8, engine.FCFS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sm.Served != len(reqs) {
+			b.Fatalf("served %d of %d", sm.Served, len(reqs))
+		}
+		if pm := e.PrefixMetrics(); pm.Promotions == 0 {
+			b.Fatal("tiered run never promoted")
+		}
+	}
+}

@@ -17,13 +17,14 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // prefix-cache wins — warm TTFT, saved prefill, affinity hit rate — as
 // rendered pass marks), the autoscale study (guarding the elastic-
 // vs-fixed and shed-vs-FIFO verify marks plus the scale-event
-// timeline), and the saturation study (guarding the knee-vs-fleet-size
-// scaling and the analyzer's typed edge errors). Regenerate
-// intentionally with
+// timeline), the saturation study (guarding the knee-vs-fleet-size
+// scaling and the analyzer's typed edge errors), and the tiering study
+// (guarding the host-tier verify marks — starved-point hit rate, warm
+// tail TTFT, token identity). Regenerate intentionally with
 //
 //	go test ./internal/experiments -run TestGoldenReports -update
 func TestGoldenReports(t *testing.T) {
-	for _, id := range []string{"sched", "fleet", "sessions", "autoscale", "saturate"} {
+	for _, id := range []string{"sched", "fleet", "sessions", "tiering", "autoscale", "saturate"} {
 		t.Run(id, func(t *testing.T) {
 			tables, err := Run(id, Options{Seed: 7, Quick: true})
 			if err != nil {

@@ -46,6 +46,14 @@ type Options struct {
 	SessionBranch int    // parallel think samples at branch turns (default 2)
 	SessionPolicy string // affinity-table policy, or ""/"all" for the comparison set
 
+	// Tier* parameterize the "tiering" driver (the CLI's tiering
+	// subcommand threads them through); zero values select the driver's
+	// defaults and other drivers ignore them. The driver also honors the
+	// Session* workload knobs above.
+	TierDeviceBlocks string  // comma-separated device-cache sizes in blocks (default 192,384,768)
+	TierHostBlocks   int     // host-tier capacity in blocks (default 1024)
+	TierLinkBW       float64 // host-link bandwidth in bytes/s (default kvcache.DefaultHostLinkBandwidth)
+
 	// Sat* parameterize the "saturate" driver (the CLI's saturate
 	// subcommand threads them through); zero values select the driver's
 	// defaults and other drivers ignore them. The driver also honors
@@ -215,7 +223,7 @@ func IDs() []string {
 		// Extensions beyond the paper's measured artifacts (§VI future
 		// work and design-choice ablations).
 		"saturation", "batchsweep", "powermodes", "specdec", "offload",
-		"fleet", "sessions",
+		"fleet", "sessions", "tiering",
 	}
 	out := make([]string, 0, len(registry))
 	for _, id := range order {

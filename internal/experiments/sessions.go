@@ -159,11 +159,11 @@ func sessionStudy(opts Options) ([]Table, error) {
 }
 
 // ttftPercentiles returns the p50/p99 time-to-first-token (queue +
-// prefill) over a run's completions.
+// host-tier restore + prefill) over a run's completions.
 func ttftPercentiles(m engine.ServeMetrics) [2]float64 {
 	ttfts := make([]float64, 0, len(m.Requests))
 	for _, r := range m.Requests {
-		ttfts = append(ttfts, r.QueueTime+r.PrefillTime)
+		ttfts = append(ttfts, r.QueueTime+r.RestoreTime+r.PrefillTime)
 	}
 	if len(ttfts) == 0 {
 		return [2]float64{}
@@ -177,7 +177,7 @@ func fleetTTFTP99(m fleet.Metrics) float64 {
 	var ttfts []float64
 	for _, rm := range m.Replicas {
 		for _, r := range rm.Requests {
-			ttfts = append(ttfts, r.QueueTime+r.PrefillTime)
+			ttfts = append(ttfts, r.QueueTime+r.RestoreTime+r.PrefillTime)
 		}
 	}
 	if len(ttfts) == 0 {

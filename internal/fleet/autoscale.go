@@ -151,14 +151,14 @@ type ScaleEvent struct {
 // autoscaler is the dispatch-time controller owned by one Serve run.
 type autoscaler struct {
 	cfg         AutoscaleConfig
-	prefixCache bool
-	provisioned int     // replicas added so far (drives the profile cycle)
-	lastUp      float64 // time of the last provision
+	opts        cacheOptions // provisioned replicas match the pool's engines
+	provisioned int          // replicas added so far (drives the profile cycle)
+	lastUp      float64      // time of the last provision
 	events      []ScaleEvent
 	peak        int
 }
 
-func newAutoscaler(cfg *AutoscaleConfig, initial int, prefixCache bool) (*autoscaler, error) {
+func newAutoscaler(cfg *AutoscaleConfig, initial int, opts cacheOptions) (*autoscaler, error) {
 	if cfg == nil {
 		return nil, nil
 	}
@@ -167,10 +167,10 @@ func newAutoscaler(cfg *AutoscaleConfig, initial int, prefixCache bool) (*autosc
 		return nil, err
 	}
 	return &autoscaler{
-		cfg:         c,
-		prefixCache: prefixCache,
-		lastUp:      math.Inf(-1),
-		peak:        initial,
+		cfg:    c,
+		opts:   opts,
+		lastUp: math.Inf(-1),
+		peak:   initial,
 		// The event log is bounded by provisions plus retirements —
 		// O(Max) per run; reserving it up front keeps every scale
 		// decision allocation-free.
@@ -259,7 +259,7 @@ func (as *autoscaler) provision(ro *router, t float64, reason string) error {
 		Device:      dev,
 		WarmupDelay: t + as.cfg.ColdStart,
 	}.withDefaults(len(ro.replicas))
-	r, err := newReplica(rc, as.prefixCache)
+	r, err := newReplica(rc, as.opts)
 	if err != nil {
 		return fmt.Errorf("fleet: autoscale provision %s: %w", name, err)
 	}

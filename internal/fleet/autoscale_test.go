@@ -255,7 +255,7 @@ func TestAutoscaleScaleOnMissIgnoresDepth(t *testing.T) {
 // sticky map drops every entry referencing the retired one.
 func TestStickySessionsPurgedOnRetirement(t *testing.T) {
 	mk := func() *replica {
-		r, err := newReplica(ReplicaConfig{Spec: smallSpec(), Device: hw.JetsonAGXOrin64GB()}.withDefaults(0), false)
+		r, err := newReplica(ReplicaConfig{Spec: smallSpec(), Device: hw.JetsonAGXOrin64GB()}.withDefaults(0), cacheOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -266,7 +266,7 @@ func TestStickySessionsPurgedOnRetirement(t *testing.T) {
 		Min: 1, Max: 2, Spec: smallSpec(),
 		Devices:    []*hw.Device{hw.JetsonAGXOrin64GB()},
 		IdleRetire: 5, Cooldown: 1, DepthPerReplica: 4,
-	}, 2, false)
+	}, 2, cacheOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

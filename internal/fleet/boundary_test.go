@@ -124,6 +124,52 @@ func TestTotalOutageMidStreamConservation(t *testing.T) {
 	}
 }
 
+// TestRetireAtDrainBoundaryBilledOnce pins ReplicaSeconds accounting at
+// the end-of-run drain: foldAutoscale retires remaining idle replicas
+// and then bills every replica exactly once — a replica whose idle
+// timer expires exactly at the wall is billed to that single instant
+// (not to the wall AND the retirement), a mid-run retiree to its
+// retirement, a failed replica to its FailAt, a survivor to the wall,
+// and a dead-at-birth provision never bills negative time.
+func TestRetireAtDrainBoundaryBilledOnce(t *testing.T) {
+	mk := func(provisionedAt, idleFrom float64, cfg ReplicaConfig) *replica {
+		return &replica{cfg: cfg, provisionedAt: provisionedAt, idleFrom: idleFrom}
+	}
+	boundary := mk(0, 90, ReplicaConfig{Name: "boundary"}) // idle timer expires at exactly wall=100
+	survivor := mk(50, 95, ReplicaConfig{Name: "survivor"})
+	early := mk(20, 0, ReplicaConfig{Name: "early"})
+	early.retired, early.retiredAt = true, 80
+	failed := mk(0, 0, ReplicaConfig{Name: "failed", FailAt: 70})
+	stillborn := mk(80, 80, ReplicaConfig{Name: "stillborn", FailAt: 70})
+
+	ro := &router{replicas: []*replica{boundary, survivor, early, failed, stillborn}}
+	as, err := newAutoscaler(&AutoscaleConfig{Min: 1, Max: 8, Spec: smallSpec(), IdleRetire: 10}, 5, cacheOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Metrics{WallTime: 100, Replicas: make([]ReplicaMetrics, 5)}
+	foldAutoscale(&out, ro, as)
+
+	if !boundary.retired || boundary.retiredAt != 100 {
+		t.Fatalf("boundary replica retired=%v at %.3f, want retirement at exactly the 100s wall",
+			boundary.retired, boundary.retiredAt)
+	}
+	if survivor.retired {
+		t.Fatal("Min floor must keep the last live replica")
+	}
+	// boundary 100-0, survivor 100-50, early 80-20, failed 70-0,
+	// stillborn clamped to 0: each span billed exactly once.
+	if want := 100.0 + 50 + 60 + 70 + 0; out.ReplicaSeconds != want {
+		t.Fatalf("ReplicaSeconds %.3f, want %.3f (each replica billed once)", out.ReplicaSeconds, want)
+	}
+	if out.ScaleDowns != 1 {
+		t.Fatalf("scale-downs %d, want 1 (only the boundary replica retires at drain)", out.ScaleDowns)
+	}
+	if out.Replicas[0].RetiredAt != 100 {
+		t.Fatalf("boundary replica metrics RetiredAt %.3f, want 100", out.Replicas[0].RetiredAt)
+	}
+}
+
 // TestOutageDropPreservesFIFOSemantics cross-checks the O(1) drain
 // against the per-request scan it replaced: a request whose arrival
 // predates the outage but whose turn comes after it is dropped, exactly

@@ -86,6 +86,36 @@ type Config struct {
 	// KV cache, so session-tagged streams reuse their history on whichever
 	// replica holds it (see Policy SessionAffinity).
 	PrefixCache bool
+	// DeviceBlocks caps every replica's device KV cache (engine.Config.
+	// DeviceBlocks); zero keeps the DRAM-derived size.
+	DeviceBlocks int
+	// HostTierBlocks attaches a host-DRAM second tier of that many blocks
+	// to every replica's prefix index (requires PrefixCache); with the
+	// tier on, SessionAffinity ranks re-pin candidates by where a
+	// session's history resides — device-warm over host-warm over cold.
+	HostTierBlocks int
+	// HostLinkBandwidth prices tier promotions in bytes/second (default
+	// kvcache.DefaultHostLinkBandwidth).
+	HostLinkBandwidth float64
+}
+
+// cacheOptions carries the fleet-level engine cache knobs to replica
+// construction — the initial pool and autoscaler provisions build
+// identically-tiered engines.
+type cacheOptions struct {
+	prefixCache       bool
+	deviceBlocks      int
+	hostTierBlocks    int
+	hostLinkBandwidth float64
+}
+
+func (cfg Config) cacheOpts() cacheOptions {
+	return cacheOptions{
+		prefixCache:       cfg.PrefixCache,
+		deviceBlocks:      cfg.DeviceBlocks,
+		hostTierBlocks:    cfg.HostTierBlocks,
+		hostLinkBandwidth: cfg.HostLinkBandwidth,
+	}
 }
 
 // ReplicaMetrics reports one replica's share of the run.
@@ -157,6 +187,14 @@ type Metrics struct {
 	PrefixHits         int
 	PrefixLookupTokens int
 	SavedPrefillTokens int
+	// Host-tier accounting summed over replicas (zero without
+	// Config.HostTierBlocks): demote/promote traffic, admissions whose
+	// matched prefix was restored from host DRAM, and the host-link
+	// seconds those restores charged into TTFT.
+	TierDemotions  int
+	TierPromotions int
+	HostHits       int
+	RestoreSeconds float64
 }
 
 // HitRate returns the fraction of deadline-bearing requests that met
@@ -208,8 +246,12 @@ type replica struct {
 // kernel model. CalibrationRates is pure — the clock and cache are
 // untouched — and returns exactly what the historical one-request probe
 // run on a scratch engine measured, without constructing one.
-func newReplica(rc ReplicaConfig, prefixCache bool) (*replica, error) {
-	eng, err := engine.New(engine.Config{Spec: rc.Spec, Device: rc.Device, PrefixCache: prefixCache})
+func newReplica(rc ReplicaConfig, opts cacheOptions) (*replica, error) {
+	eng, err := engine.New(engine.Config{
+		Spec: rc.Spec, Device: rc.Device, PrefixCache: opts.prefixCache,
+		DeviceBlocks: opts.deviceBlocks, HostTierBlocks: opts.hostTierBlocks,
+		HostLinkBandwidth: opts.hostLinkBandwidth,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("fleet: replica %s: %w", rc.Name, err)
 	}
@@ -308,15 +350,16 @@ func ServeSource(cfg Config, src engine.Source) (Metrics, error) {
 	if len(cfg.Replicas) == 0 {
 		return Metrics{}, fmt.Errorf("fleet: no replicas configured")
 	}
+	opts := cfg.cacheOpts()
 	replicas := make([]*replica, len(cfg.Replicas))
 	for i, rc := range cfg.Replicas {
-		r, err := newReplica(rc.withDefaults(i), cfg.PrefixCache)
+		r, err := newReplica(rc.withDefaults(i), opts)
 		if err != nil {
 			return Metrics{}, err
 		}
 		replicas[i] = r
 	}
-	as, err := newAutoscaler(cfg.Autoscale, len(replicas), cfg.PrefixCache)
+	as, err := newAutoscaler(cfg.Autoscale, len(replicas), opts)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -328,7 +371,7 @@ func ServeSource(cfg Config, src engine.Source) (Metrics, error) {
 
 	var out Metrics
 	out.Policy = cfg.Policy
-	router := &router{replicas: replicas, policy: cfg.Policy}
+	router := &router{replicas: replicas, policy: cfg.Policy, tiered: cfg.HostTierBlocks > 0}
 	// delays records per-request global-queue wait (dispatch − arrival),
 	// folded back into latency accounting after the engines run. One map
 	// serves the whole run — request IDs are unique across replicas —
@@ -410,6 +453,11 @@ func ServeSource(cfg Config, src engine.Source) (Metrics, error) {
 		out.PrefixHits += sm.PrefixHits
 		out.PrefixLookupTokens += sm.PrefixLookupTokens
 		out.SavedPrefillTokens += sm.SavedPrefillTokens
+		out.HostHits += sm.HostHits
+		out.RestoreSeconds += sm.RestoreSeconds
+		pm := r.eng.PrefixMetrics()
+		out.TierDemotions += pm.Demotions
+		out.TierPromotions += pm.Promotions
 		if r.eng.Clock() > out.WallTime {
 			out.WallTime = r.eng.Clock()
 		}
@@ -594,7 +642,11 @@ func trimLower(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
 type router struct {
 	replicas []*replica
 	policy   Policy
-	rrNext   int
+	// tiered enables warmth-ranked SessionAffinity pinning (set when the
+	// fleet's replicas carry a host-DRAM tier); non-tiered fleets keep
+	// the legacy least-pinned behavior bit for bit.
+	tiered bool
+	rrNext int
 	// sticky maps a session ID to the replica index its turns are pinned
 	// to (SessionAffinity only; re-pinned on fallback), and pinned counts
 	// sessions per replica so new sessions spread instead of piling onto
@@ -736,11 +788,18 @@ func (ro *router) choose(candidates []int, tr engine.TimedRequest, t float64) in
 		for len(ro.pinned) < len(ro.replicas) {
 			ro.pinned = append(ro.pinned, 0)
 		}
-		best := candidates[0]
+		// Tiered fleets rank candidates by where the session's history
+		// resides first — a replica still holding the prefix (even demoted
+		// to host DRAM) restores it for a restore fee, while a cold one
+		// re-prefills everything. Warmth ties (always, when untiered) fall
+		// back to least-pinned with queue depth as the final tiebreak.
+		best, bestWarm := candidates[0], ro.warmth(candidates[0], tr)
 		for _, i := range candidates[1:] {
-			if ro.pinned[i] < ro.pinned[best] ||
-				(ro.pinned[i] == ro.pinned[best] && len(ro.replicas[i].finishes) < len(ro.replicas[best].finishes)) {
-				best = i
+			w := ro.warmth(i, tr)
+			if w > bestWarm ||
+				(w == bestWarm && (ro.pinned[i] < ro.pinned[best] ||
+					(ro.pinned[i] == ro.pinned[best] && len(ro.replicas[i].finishes) < len(ro.replicas[best].finishes)))) {
+				best, bestWarm = i, w
 			}
 		}
 		ro.sticky[tr.SessionID] = best
@@ -788,6 +847,25 @@ func (ro *router) choose(candidates []int, tr engine.TimedRequest, t float64) in
 		}
 		return candidates[0] // unreachable: candidates is non-empty
 	}
+}
+
+// warmth ranks a replica for a session turn by where the turn's prefix
+// history resides: 2 when its leading blocks sit in the replica's
+// device cache, 1 when only in its host tier (restorable for a fee),
+// 0 when cold. Untiered fleets always report cold, so legacy routing
+// is untouched.
+func (ro *router) warmth(i int, tr engine.TimedRequest) int {
+	if !ro.tiered || len(tr.PromptSyms) == 0 {
+		return 0
+	}
+	dev, host := ro.replicas[i].eng.PeekPrefix(tr.PromptSyms)
+	switch {
+	case dev > 0:
+		return 2
+	case host > 0:
+		return 1
+	}
+	return 0
 }
 
 // leastQueued picks the candidate with the fewest outstanding requests,

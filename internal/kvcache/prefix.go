@@ -30,27 +30,60 @@ type PrefixMetrics struct {
 	Hits    int
 	// SavedTokens is the total prefill work avoided by matches.
 	SavedTokens int
-	// Retained is the current number of index-held blocks.
+	// Retained is the current number of index-held device blocks.
 	Retained int
-	// Evictions counts entries dropped under capacity pressure.
+	// Evictions counts entries dropped for good under capacity pressure
+	// (demotions to the host tier are not evictions — the state survives).
 	Evictions int
+	// Host-tier counters, all zero without an attached host tier.
+	// Demotions and Promotions count block moves device->host and back;
+	// HostHits counts Acquires that restored at least one host block;
+	// HostRetained is the current host-resident block count.
+	Demotions    int
+	Promotions   int
+	HostHits     int
+	HostRetained int
+	// RestoreSeconds accumulates host-link transfer time charged by
+	// promotions (blocks x block bytes / link bandwidth). The engine
+	// folds per-Acquire deltas into that request's TTFT.
+	RestoreSeconds float64
 }
+
+// hostBlock marks an entry whose block contents live on the host tier:
+// it holds no device block until promoted back.
+const hostBlock = -1
 
 // prefixEntry is one retained block keyed by its chained content hash.
 type prefixEntry struct {
-	hash   uint64
+	hash uint64
+	// block is the device block holding the contents, or hostBlock when
+	// the entry has been demoted to the host tier.
 	block  int
 	parent *prefixEntry
-	// children counts entries hashing through this one; only leaves
-	// (children == 0) are evictable, so a chain always evicts tail-first.
-	children int
+	// children counts device-resident entries hashing through this one;
+	// only device leaves (children == 0) are device-evictable, so a
+	// chain always demotes or evicts tail-first. hostChildren counts
+	// host-resident children separately: they never block device
+	// eviction (the demoted tail below rides along), but pin a host
+	// entry against host-tier eviction.
+	children     int
+	hostChildren int
+	// onHost marks the entry's contents as host-resident. Host entries
+	// form contiguous chain tails: a host entry never has a device child.
+	onHost bool
 	// lastUse is the logical tick of the most recent match through this
-	// entry; the evictable list stays sorted ascending by it.
+	// entry; each tier's evictable list stays sorted ascending by it.
 	lastUse uint64
-	// prev/next link the entry into the evictable LRU list while it is a
-	// leaf (least-recent at the front).
+	// prev/next link the entry into its tier's evictable LRU list while
+	// it is a leaf there (least-recent at the front).
 	prev, next *prefixEntry
 	inLRU      bool
+}
+
+// lruList is one tier's evictable-leaf list, sorted ascending by
+// lastUse (least-recent at the head).
+type lruList struct {
+	head, tail *prefixEntry
 }
 
 // PrefixIndex maps chained block hashes to retained cache blocks. It is
@@ -59,8 +92,11 @@ type prefixEntry struct {
 type PrefixIndex struct {
 	c       *Cache
 	entries map[uint64]*prefixEntry
-	// lruHead/lruTail bound the evictable-leaf list (LRU at head).
-	lruHead, lruTail *prefixEntry
+	// lru is the device-evictable leaf list (LRU at head).
+	lru lruList
+	// host is the optional host-DRAM second tier (nil when disabled):
+	// device eviction demotes into it instead of dropping entries.
+	host *hostTier
 	// tick is the logical clock stamping lastUse.
 	tick uint64
 	m    PrefixMetrics
@@ -130,22 +166,56 @@ func (ix *PrefixIndex) walk(syms []uint64) []*prefixEntry {
 	return ix.match
 }
 
-// Probe returns how many blocks of syms the index currently holds,
-// refreshing their recency. It allocates nothing and takes no blocks.
-func (ix *PrefixIndex) Probe(syms []uint64) int { return len(ix.walk(syms)) }
+// Probe returns how many blocks of syms the index currently holds on
+// the device tier, refreshing the whole matched chain's recency (host
+// segments included). It allocates nothing and takes no blocks.
+// Host-resident matches are excluded deliberately: promoting them back
+// consumes device capacity exactly like a cold prefill of the same
+// span, so admission control must budget for them as unmatched demand.
+func (ix *PrefixIndex) Probe(syms []uint64) int {
+	chain := ix.walk(syms)
+	for i, e := range chain {
+		if e.onHost {
+			// Host entries are contiguous chain tails: the device-resident
+			// match is everything before the first one.
+			return i
+		}
+	}
+	return len(chain)
+}
 
 // Acquire creates seqID seeded with the longest indexed prefix of syms
 // (fork-style: matched blocks are shared copy-on-write via refcount
 // bumps) and returns the number of tokens reused. A zero return means a
 // cold start; the sequence then exists with length 0 and the caller
-// appends the whole prompt. The caller must not evict between a Probe
-// and the Acquire that relies on it — both walk the same index state.
+// appends the whole prompt. A match that walks onto a host-resident
+// chain tail promotes it back to the device tier block by block,
+// charging RestoreSeconds for the host-link transfer; if the cache runs
+// out of blocks mid-promotion the chain is truncated there (the
+// already-promoted prefix is kept). The caller must not evict between a
+// Probe and the Acquire that relies on it — both walk the same index
+// state.
 func (ix *PrefixIndex) Acquire(seqID string, syms []uint64) (int, error) {
 	if _, ok := ix.c.seqs[seqID]; ok {
 		return 0, ErrSequenceExists
 	}
 	ix.m.Lookups++
 	chain := ix.walk(syms)
+	promoted := 0
+	for i, e := range chain {
+		if !e.onHost {
+			continue
+		}
+		if !ix.promote(e) {
+			chain = chain[:i]
+			break
+		}
+		promoted++
+	}
+	if promoted > 0 {
+		ix.m.HostHits++
+		ix.m.RestoreSeconds += ix.restoreCost(promoted)
+	}
 	s := ix.c.newSequence(len(chain))
 	for _, e := range chain {
 		ix.c.retain(e.block)
@@ -188,6 +258,14 @@ func (ix *PrefixIndex) Release(h Handle, promptSyms, outputSyms []uint64) error 
 		}
 		e := ix.entries[hh]
 		if e == nil {
+			if parent != nil && parent.onHost {
+				// Growing a device entry under a host-resident parent would
+				// break the chain-tail invariant (host entries never have
+				// device children). Demotion and host eviction are both
+				// leaf-first, so nothing deeper can be indexed either: stop
+				// retaining here and release the rest normally.
+				break
+			}
 			ix.tick++
 			e = ix.newEntry()
 			*e = prefixEntry{hash: hh, block: s.blocks[k], parent: parent, lastUse: ix.tick}
@@ -197,9 +275,9 @@ func (ix *PrefixIndex) Release(h Handle, promptSyms, outputSyms []uint64) error 
 			ix.mut++
 			if parent != nil {
 				parent.children++
-				ix.lruRemove(parent) // interior entries are not evictable
+				ix.lru.remove(parent) // interior entries are not evictable
 			}
-			ix.lruPush(e)
+			ix.lru.push(e)
 			ix.m.Retained++
 		} else {
 			ix.touch(e)
@@ -210,27 +288,39 @@ func (ix *PrefixIndex) Release(h Handle, promptSyms, outputSyms []uint64) error 
 	return nil
 }
 
-// EnsureFree evicts least-recently-used leaf entries until the cache has
-// at least n free blocks or nothing evictable remains. Evicting an entry
-// whose block is still shared with a live sequence reclaims no capacity
-// immediately (the block frees when the sequence does), so the loop keeps
-// going until the target is met or the index is drained.
+// EnsureFree evicts (or, with a host tier, demotes) least-recently-used
+// device leaf entries until the cache has at least n free blocks,
+// nothing evictable remains, or an eviction round reclaims no capacity.
+// The last condition is load-bearing: an evicted leaf whose block is
+// still shared with a live sequence frees nothing now (the block frees
+// when the sequence does), and before the stop a single admission under
+// that kind of pressure would keep evicting zero-reclaim leaves until
+// the entire index — every warm session history — was destroyed for no
+// capacity at all.
 func (ix *PrefixIndex) EnsureFree(n int) {
 	for ix.c.FreeBlocks() < n {
+		before := ix.c.FreeBlocks()
 		if !ix.evictOne() {
+			return
+		}
+		if ix.c.FreeBlocks() == before {
 			return
 		}
 	}
 }
 
-// evictOne drops the least-recently-used leaf entry, reporting false when
-// none remains.
+// evictOne reclaims the least-recently-used device leaf entry —
+// demoting it to the host tier when one is attached, dropping it for
+// good otherwise — reporting false when none remains.
 func (ix *PrefixIndex) evictOne() bool {
-	e := ix.lruHead
+	if ix.host != nil {
+		return ix.demoteOne()
+	}
+	e := ix.lru.head
 	if e == nil {
 		return false
 	}
-	ix.lruRemove(e)
+	ix.lru.remove(e)
 	delete(ix.entries, e.hash)
 	ix.mut++
 	ix.c.indexRef(e.block, -1)
@@ -243,7 +333,7 @@ func (ix *PrefixIndex) evictOne() bool {
 			// The parent becomes a leaf again; re-enter the evictable list
 			// at its true recency, so a cold chain keeps tearing down
 			// before any recently-matched chain is touched.
-			ix.lruInsert(p)
+			ix.lru.insertSorted(p)
 		}
 	}
 	ix.pool = append(ix.pool, e)
@@ -268,45 +358,52 @@ func (ix *PrefixIndex) newEntry() *prefixEntry {
 }
 
 // touch stamps an entry's recency and, if it is evictable, moves it to
-// the MRU end of the list.
+// the MRU end of its tier's list.
 func (ix *PrefixIndex) touch(e *prefixEntry) {
 	ix.tick++
 	e.lastUse = ix.tick
-	if !e.inLRU || ix.lruTail == e {
+	if !e.inLRU {
 		return
 	}
-	ix.lruRemove(e)
-	ix.lruPush(e)
+	l := &ix.lru
+	if e.onHost {
+		l = &ix.host.lru
+	}
+	if l.tail == e {
+		return
+	}
+	l.remove(e)
+	l.push(e)
 }
 
-// lruPush appends e at the MRU end (callers guarantee e.lastUse is the
+// push appends e at the MRU end (callers guarantee e.lastUse is the
 // newest tick, keeping the list sorted).
-func (ix *PrefixIndex) lruPush(e *prefixEntry) {
+func (l *lruList) push(e *prefixEntry) {
 	if e.inLRU {
 		panic(fmt.Sprintf("kvcache: prefix entry for block %d already on LRU list", e.block))
 	}
 	e.inLRU = true
-	e.prev = ix.lruTail
+	e.prev = l.tail
 	e.next = nil
-	if ix.lruTail != nil {
-		ix.lruTail.next = e
+	if l.tail != nil {
+		l.tail.next = e
 	} else {
-		ix.lruHead = e
+		l.head = e
 	}
-	ix.lruTail = e
+	l.tail = e
 }
 
-// lruInsert places e at the position its lastUse dictates (the list is
-// sorted ascending). Used when an interior entry becomes a leaf again:
-// its recency predates entries touched since, so it usually lands near
-// the front after a short walk from the tail.
-func (ix *PrefixIndex) lruInsert(e *prefixEntry) {
-	at := ix.lruTail // insert after at; nil means at the head
+// insertSorted places e at the position its lastUse dictates (the list
+// is sorted ascending). Used when an interior entry becomes a leaf
+// again: its recency predates entries touched since, so it usually
+// lands near the front after a short walk from the tail.
+func (l *lruList) insertSorted(e *prefixEntry) {
+	at := l.tail // insert after at; nil means at the head
 	for at != nil && at.lastUse > e.lastUse {
 		at = at.prev
 	}
-	if at == ix.lruTail {
-		ix.lruPush(e)
+	if at == l.tail {
+		l.push(e)
 		return
 	}
 	if e.inLRU {
@@ -315,9 +412,9 @@ func (ix *PrefixIndex) lruInsert(e *prefixEntry) {
 	e.inLRU = true
 	if at == nil {
 		e.prev = nil
-		e.next = ix.lruHead
-		ix.lruHead.prev = e
-		ix.lruHead = e
+		e.next = l.head
+		l.head.prev = e
+		l.head = e
 		return
 	}
 	e.prev = at
@@ -326,20 +423,20 @@ func (ix *PrefixIndex) lruInsert(e *prefixEntry) {
 	at.next = e
 }
 
-// lruRemove unlinks e if it is on the list.
-func (ix *PrefixIndex) lruRemove(e *prefixEntry) {
+// remove unlinks e if it is on the list.
+func (l *lruList) remove(e *prefixEntry) {
 	if !e.inLRU {
 		return
 	}
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {
-		ix.lruHead = e.next
+		l.head = e.next
 	}
 	if e.next != nil {
 		e.next.prev = e.prev
 	} else {
-		ix.lruTail = e.prev
+		l.tail = e.prev
 	}
 	e.prev, e.next = nil, nil
 	e.inLRU = false

@@ -198,11 +198,15 @@ func TestPrefixEvictSharedBlockDoesNotFreeIt(t *testing.T) {
 	if m, err := ix.Acquire("live", append(append([]uint64{}, prompt...), 9)); err != nil || m != 8 {
 		t.Fatalf("acquire = %d, %v; want 8 matched", m, err)
 	}
-	// Evicting the whole index drops only the index refs; the live
-	// sequence keeps the blocks allocated.
+	// Evicting a shared leaf drops only the index ref and frees nothing;
+	// EnsureFree notices the zero-reclaim round and stops instead of
+	// draining the rest of the chain for no capacity.
 	ix.EnsureFree(8)
-	if got := ix.Metrics().Retained; got != 0 {
-		t.Fatalf("retained %d after full eviction, want 0", got)
+	if got := ix.Metrics().Retained; got != 1 {
+		t.Fatalf("retained %d after zero-reclaim stop, want 1", got)
+	}
+	if got := ix.Metrics().Evictions; got != 1 {
+		t.Fatalf("evictions %d, want 1", got)
 	}
 	if free := c.FreeBlocks(); free != 6 {
 		t.Fatalf("free %d, want 6 (live sequence still holds 2)", free)
@@ -213,8 +217,43 @@ func TestPrefixEvictSharedBlockDoesNotFreeIt(t *testing.T) {
 	if err := c.Free("live"); err != nil {
 		t.Fatal(err)
 	}
-	if free := c.FreeBlocks(); free != 8 {
-		t.Fatalf("free %d after live free, want 8", free)
+	// The evicted leaf's block frees with the sequence; the surviving
+	// entry keeps its block retained.
+	if free := c.FreeBlocks(); free != 7 {
+		t.Fatalf("free %d after live free, want 7", free)
+	}
+}
+
+// TestEnsureFreeSharedLeavesDoNotDrainIndex is the regression test for
+// the eviction wipeout: when the least-recently-used leaf is still
+// shared with a live sequence, each eviction reclaims zero blocks, and
+// the pre-fix loop would keep going — destroying every warm session
+// history in the index without freeing any capacity at all. The fixed
+// loop stops after the first zero-reclaim round, so the warm chains
+// behind the shared one survive. (Pre-fix, Retained ends at 0 and both
+// warm probes miss.)
+func TestEnsureFreeSharedLeavesDoNotDrainIndex(t *testing.T) {
+	c, ix := newPrefixCache(t, 4, 8)
+	promptA := syms(100, 8)
+	promptB := syms(2000, 8)
+	runTurn(t, c, ix, "a0", promptA, nil) // chain A: 2 blocks
+	// A live sequence shares chain A, then warmer chain B retains after,
+	// leaving A's leaf at the LRU head.
+	if m, err := ix.Acquire("liveA", append(append([]uint64{}, promptA...), 9)); err != nil || m != 8 {
+		t.Fatalf("acquire = %d, %v; want 8 matched", m, err)
+	}
+	runTurn(t, c, ix, "b0", promptB, nil) // chain B: 2 blocks
+	// 4 retained + 2 shared-live = 6 used, 2 free. An unreachable target
+	// forces eviction to run until it stops on its own.
+	ix.EnsureFree(8)
+	if got := ix.Metrics().Retained; got != 3 {
+		t.Fatalf("retained %d after EnsureFree, want 3 (only A's shared leaf evicted)", got)
+	}
+	if got := ix.Probe(append(append([]uint64{}, promptB...), 9)); got != 2 {
+		t.Fatalf("warm chain B probe matched %d blocks after eviction, want 2", got)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,59 @@
+package session
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestWarmTurnTable(t *testing.T) {
+	cases := []struct {
+		id   string
+		warm bool
+	}{
+		{"s0t0", false},  // turn-0 canonical think: nothing written yet
+		{"s12t0", false}, // multi-digit session index, still cold
+		{"s0t0a", true},  // turn-0 act reads the think's output
+		{"s0t0b1", true}, // turn-0 branch shares the admitted prompt
+		{"s0t1", true},
+		{"s3t10", true}, // multi-digit turn must not parse as turn 0
+		{"s7t2b2", true},
+		{"s7t2a", true},
+		{"req3", false}, // non-session generators: conservatively cold
+		{"st0", false},  // no session index
+		{"s5", false},   // no turn marker
+		{"", false},
+	}
+	for _, tc := range cases {
+		if got := WarmTurn(tc.id); got != tc.warm {
+			t.Errorf("WarmTurn(%q) = %v, want %v", tc.id, got, tc.warm)
+		}
+	}
+}
+
+// TestWarmTurnMatchesGenerator locks the helper to the generator's ID
+// scheme: across a generated stream, the cold requests are exactly one
+// per session — the bare turn-0 think.
+func TestWarmTurnMatchesGenerator(t *testing.T) {
+	p := AgentLoop(5, 3, 2)
+	reqs, err := Generate(p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := map[string]bool{}
+	for _, r := range reqs {
+		if !WarmTurn(r.ID) {
+			if cold[r.ID] {
+				t.Fatalf("duplicate cold ID %q", r.ID)
+			}
+			cold[r.ID] = true
+		}
+	}
+	if len(cold) != p.Sessions {
+		t.Fatalf("%d cold IDs, want exactly one per session (%d): %v", len(cold), p.Sessions, cold)
+	}
+	for i := 0; i < p.Sessions; i++ {
+		if id := fmt.Sprintf("s%dt0", i); !cold[id] {
+			t.Errorf("session %d's first think %q not classified cold", i, id)
+		}
+	}
+}

@@ -9,9 +9,12 @@
 #
 # The tracked targets are the serving hot loop (engine.Serve / engine.Run
 # over a long-generation open-loop stream), the session-serving loop
-# (multi-turn agentic stream, warm prefix cache vs cold), the KV-cache
-# append paths (bulk handle-based vs per-token), the elastic-fleet
-# serving path (fleet.Serve with autoscaling and shed admission), and
+# (multi-turn agentic stream, warm prefix cache vs cold), the tiered
+# serving loop (the same agentic stream on a starved device cache with
+# the host-DRAM KV tier demoting and promoting continuously), the
+# KV-cache append paths (bulk handle-based vs per-token), the
+# elastic-fleet serving path (fleet.Serve with autoscaling and shed
+# admission), and
 # the million-request streamed soak (engine.ServeSource over a lazy
 # workload source; sim-events/s and live heap ride along as custom
 # metrics). Only allocs/op is gated — it is deterministic across machines — while ns/op
@@ -27,7 +30,7 @@ BENCHTIME="${BENCHTIME:-2s}"
 MODE="${1:-check}"
 
 run_benches() {
-  go test -run '^$' -bench 'BenchmarkServeHotLoop$|BenchmarkRunHotLoop$|BenchmarkSessionServe$' \
+  go test -run '^$' -bench 'BenchmarkServeHotLoop$|BenchmarkRunHotLoop$|BenchmarkSessionServe$|BenchmarkTieredServe$' \
     -benchmem -benchtime "$BENCHTIME" -count 1 ./internal/engine
   # The soak streams 1e6 requests per op (~2s); one iteration is enough
   # signal and keeps the suite fast at any -benchtime.
