@@ -11,6 +11,7 @@
 //	edgereasoning tiering [flags]      # host-DRAM KV tier vs device-cache size
 //	edgereasoning autoscale [flags]    # elastic fleet + ingress admission study
 //	edgereasoning saturate [flags]     # saturation-knee capacity analysis
+//	edgereasoning drills [flags]       # fault-injection outage drills
 //	edgereasoning soak [flags]         # streamed large-N soak (sim-events/sec)
 //	edgereasoning sweep <id> [flags]   # fan one experiment across seeds
 //
@@ -39,6 +40,8 @@
 //	-max N        autoscale pool ceiling (autoscale only; default 6)
 //	-admission D  ingress discipline: fifo | edf | sjf | shed (autoscale only)
 //	-scale-on S   scale-up signals: depth | miss | both (autoscale only)
+//	-replicas N   drills: pool size under fault injection (default 3)
+//	-restart X    drills: crash restart delay in seconds (default 5)
 //	-slo X        saturate: p99 bound in seconds, or hitrate floor in [0,1]
 //	-metric M     saturate: p99 | hitrate (default p99)
 //	-requests N   saturate: requests per probe; soak: requests to stream (1e6)
@@ -113,7 +116,7 @@ func run(args []string) error {
 		if len(rest) == 0 {
 			return fmt.Errorf("run: missing experiment id")
 		}
-		cfg, err := parseFlags(rest[1:], false, false, false, false, false)
+		cfg, err := parseFlags(rest[1:], false, false, false, false, false, false)
 		if err != nil {
 			return err
 		}
@@ -122,7 +125,7 @@ func run(args []string) error {
 		}
 		return execute([]string{rest[0]}, cfg)
 	case "all":
-		cfg, err := parseFlags(rest, false, false, false, false, false)
+		cfg, err := parseFlags(rest, false, false, false, false, false, false)
 		if err != nil {
 			return err
 		}
@@ -131,7 +134,7 @@ func run(args []string) error {
 		}
 		return execute(experiments.IDs(), cfg)
 	case "fleet":
-		cfg, err := parseFlags(rest, true, false, false, false, false)
+		cfg, err := parseFlags(rest, true, false, false, false, false, false)
 		if err != nil {
 			return err
 		}
@@ -140,7 +143,7 @@ func run(args []string) error {
 		}
 		return execute([]string{"fleet"}, cfg)
 	case "sessions":
-		cfg, err := parseFlags(rest, false, true, false, false, false)
+		cfg, err := parseFlags(rest, false, true, false, false, false, false)
 		if err != nil {
 			return err
 		}
@@ -149,7 +152,7 @@ func run(args []string) error {
 		}
 		return execute([]string{"sessions"}, cfg)
 	case "tiering":
-		cfg, err := parseFlags(rest, false, false, false, false, true)
+		cfg, err := parseFlags(rest, false, false, false, false, true, false)
 		if err != nil {
 			return err
 		}
@@ -158,7 +161,7 @@ func run(args []string) error {
 		}
 		return execute([]string{"tiering"}, cfg)
 	case "autoscale":
-		cfg, err := parseFlags(rest, false, false, true, false, false)
+		cfg, err := parseFlags(rest, false, false, true, false, false, false)
 		if err != nil {
 			return err
 		}
@@ -167,7 +170,7 @@ func run(args []string) error {
 		}
 		return execute([]string{"autoscale"}, cfg)
 	case "saturate":
-		cfg, err := parseFlags(rest, false, false, false, true, false)
+		cfg, err := parseFlags(rest, false, false, false, true, false, false)
 		if err != nil {
 			return err
 		}
@@ -175,13 +178,22 @@ func run(args []string) error {
 			return fmt.Errorf("saturate: -seeds only applies to sweep (use -seed)")
 		}
 		return execute([]string{"saturate"}, cfg)
+	case "drills":
+		cfg, err := parseFlags(rest, false, false, false, false, false, true)
+		if err != nil {
+			return err
+		}
+		if cfg.seedsSet {
+			return fmt.Errorf("drills: -seeds only applies to sweep (use -seed)")
+		}
+		return execute([]string{"drills"}, cfg)
 	case "soak":
 		return soak(rest)
 	case "sweep":
 		if len(rest) == 0 {
 			return fmt.Errorf("sweep: missing experiment id")
 		}
-		cfg, err := parseFlags(rest[1:], false, false, false, false, false)
+		cfg, err := parseFlags(rest[1:], false, false, false, false, false, false)
 		if err != nil {
 			return err
 		}
@@ -199,9 +211,9 @@ func run(args []string) error {
 }
 
 // parseFlags parses the shared flag set; withFleet, withSessions,
-// withAutoscale, withSaturate, and withTiering additionally register
-// their subcommands' knobs.
-func parseFlags(args []string, withFleet, withSessions, withAutoscale, withSaturate, withTiering bool) (config, error) {
+// withAutoscale, withSaturate, withTiering, and withDrills additionally
+// register their subcommands' knobs.
+func parseFlags(args []string, withFleet, withSessions, withAutoscale, withSaturate, withTiering, withDrills bool) (config, error) {
 	fs := flag.NewFlagSet("edgereasoning", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 7, "random seed")
 	quick := fs.Bool("quick", false, "subsample large banks")
@@ -238,6 +250,13 @@ func parseFlags(args []string, withFleet, withSessions, withAutoscale, withSatur
 		tierDeviceBlocks = fs.String("device-blocks", "", "comma-separated device-cache sweep in blocks (default 192,384,768)")
 		tierHostBlocks = fs.Int("host-blocks", 0, "host-tier capacity in blocks (0 = driver default of 1024)")
 		tierBW = fs.Float64("bw", 0, "host-link bandwidth in bytes/s (0 = driver default of 16e9)")
+	}
+	var drillReplicas *int
+	var drillRestart *float64
+	if withDrills {
+		drillReplicas = fs.Int("replicas", 0, "pool size under fault injection (0 = driver default of 3)")
+		drillRestart = fs.Float64("restart", 0, "crash restart delay in seconds (0 = driver default of 5)")
+		devices = fs.String("devices", "", "comma-separated device cycle (default orin,orin-50w,orin-30w)")
 	}
 	var satSLO *float64
 	var satMetric *string
@@ -340,6 +359,20 @@ func parseFlags(args []string, withFleet, withSessions, withAutoscale, withSatur
 		cfg.opts.SatSLO = *satSLO
 		cfg.opts.SatMetric = *satMetric
 		cfg.opts.SatRequests = *satRequests
+		cfg.opts.FleetDevices = *devices
+	}
+	if withDrills {
+		if *drillReplicas < 0 {
+			return config{}, fmt.Errorf("drills: -replicas must be non-negative")
+		}
+		if *drillRestart < 0 {
+			return config{}, fmt.Errorf("drills: -restart must be non-negative")
+		}
+		if _, err := fleet.ParseDevices(*devices); err != nil {
+			return config{}, err
+		}
+		cfg.opts.DrillReplicas = *drillReplicas
+		cfg.opts.DrillRestart = *drillRestart
 		cfg.opts.FleetDevices = *devices
 	}
 	if withAutoscale {
@@ -700,6 +733,7 @@ commands:
   tiering [flags]      host-DRAM KV tier swept against device-cache size
   autoscale [flags]    elastic replica pool + ingress admission disciplines
   saturate [flags]     binary-search offered QPS to the SLO saturation knee
+  drills [flags]       fault-injection outage drills: crashes, stalls, throttling
   soak [flags]         stream a large open-loop run end to end (sim-events/sec)
   sweep <id> [flags]   fan one experiment across seeds (variance estimation)
 
@@ -714,7 +748,7 @@ flags:
   -cpuprofile F write a CPU profile of the run to F
   -memprofile F write a heap profile at exit to F
   -seeds LIST   comma-separated seeds (sweep only; default 1..8)
-  -replicas N   fleet size (fleet only; default 4)
+  -replicas N   fleet size (fleet; default 4) or drill pool size (drills; default 3)
   -devices L    device cycle, e.g. orin,orin-50w (fleet and autoscale)
   -policy P     fleet: round-robin | least-queue | latency-weighted | deadline-aware | all
                 sessions: round-robin | least-queue | session-affinity | all
@@ -730,6 +764,7 @@ flags:
   -max N        autoscale pool ceiling (autoscale only; default 6)
   -admission D  autoscale: fifo | edf | sjf | shed (default fifo)
   -scale-on S   autoscale: depth | miss | both (default both)
+  -restart X    drills: crash restart delay in seconds (default 5)
   -slo X        saturate: p99 bound in seconds or hit-rate floor (metric default)
   -metric M     saturate: p99 | hitrate (default p99)
   -requests N   saturate: requests per probe (default 240)

@@ -664,6 +664,18 @@ func (e *Engine) PeekPrefix(syms []uint64) (deviceBlocks, hostBlocks int) {
 	return e.prefix.Peek(syms)
 }
 
+// CrashResetPrefix crash-wipes the engine's prefix index (a no-op
+// without one): device-resident entries are dropped — HBM does not
+// survive a power loss — and keepHost preserves fully host-resident
+// chains, modeling persistent host DRAM. Exposed for serving layers
+// that model replica crashes outside a serve run; during a run the
+// wipe is driven by ServeOpts.Faults crash markers instead.
+func (e *Engine) CrashResetPrefix(keepHost bool) {
+	if e.prefix != nil {
+		e.prefix.CrashReset(keepHost)
+	}
+}
+
 // SimDecodeProbe returns the raw simulator result of a representative
 // decode run at the given geometry, so callers can inspect utilization
 // and power signals without executing a request (used by the Fig 10

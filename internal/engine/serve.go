@@ -113,6 +113,71 @@ type ServeOpts struct {
 	// SizeHint, when positive, pre-sizes the result slices for an
 	// expected request count (the slice-API wrapper passes len(reqs)).
 	SizeHint int
+	// Faults injects replica-level fault behavior into this run: stall
+	// windows (the device makes no progress), thermal-throttle windows
+	// (decode time stretched by a factor), and crash-boundary prefix
+	// wipes keyed by request ID. Nil serves undisturbed — the default
+	// path is byte-identical with the field unset.
+	Faults *FaultInjection
+}
+
+// FaultInjection is the per-run fault timeline a serving layer hands the
+// engine: the engine applies the timing effects (stalls, throttling) and
+// the crash-boundary cache wipes, while abort/retry decisions stay with
+// the dispatcher that owns the request stream.
+type FaultInjection struct {
+	// Stalls are no-progress windows: a prefill or decode event that
+	// would start inside [From, To) starts at To instead. Events are
+	// atomic — one that starts before a window runs to completion.
+	Stalls []StallWindow
+	// Throttles stretch decode-chunk time by Factor for chunks starting
+	// inside the window — a thermal cap. Energy is unchanged: the same
+	// tokens cost the same joules, spread over more seconds.
+	Throttles []ThrottleWindow
+	// CrashWipes maps request IDs to host-tier survival: the engine
+	// crash-resets its prefix index immediately before admitting that
+	// request (the dispatcher marks the first request routed to the
+	// replica after each crash restart, so the wipe lands between the
+	// pre-crash survivors and the post-restart traffic). Fired markers
+	// are deleted from the map.
+	CrashWipes map[string]bool
+}
+
+// StallWindow is one no-progress interval [From, To).
+type StallWindow struct{ From, To float64 }
+
+// ThrottleWindow is one decode-slowdown interval [From, To) with its
+// time multiplier (>= 1).
+type ThrottleWindow struct {
+	From, To float64
+	Factor   float64
+}
+
+// stallEnd returns when work that would start at t can actually begin:
+// past every stall window containing it (windows may chain or overlap).
+func (f *FaultInjection) stallEnd(t float64) float64 {
+	for changed := true; changed; {
+		changed = false
+		for _, w := range f.Stalls {
+			if t >= w.From && t < w.To {
+				t = w.To
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+// throttleAt returns the decode-time multiplier at t (1 outside all
+// windows; overlapping windows compound).
+func (f *FaultInjection) throttleAt(t float64) float64 {
+	m := 1.0
+	for _, w := range f.Throttles {
+		if t >= w.From && t < w.To && w.Factor > 1 {
+			m *= w.Factor
+		}
+	}
+	return m
 }
 
 // readyQueue is the admission queue: head-indexed so popping the front is
@@ -204,6 +269,7 @@ func (e *Engine) ServeSource(src Source, maxBatch int, policy SchedPolicy, opts 
 	if tr, ok := in.Peek(); ok && e.clock > tr.Arrival {
 		return ServeMetrics{}, fmt.Errorf("engine: clock %.3f already past first arrival %.3f", e.clock, tr.Arrival)
 	}
+	fx := opts.Faults
 
 	var ready readyQueue
 	active := make([]*activeSeq, 0, maxBatch)
@@ -297,6 +363,15 @@ func (e *Engine) ServeSource(src Source, maxBatch int, policy SchedPolicy, opts 
 			if tr.PromptTokens <= 0 {
 				return out, fmt.Errorf("engine: request %q has no prompt", tr.ID)
 			}
+			// A crash boundary: the dispatcher marked this request as the
+			// first one routed after the replica's crash restart, so the
+			// prefix cache is wiped before admission even probes it.
+			if fx != nil && e.prefix != nil && len(fx.CrashWipes) > 0 {
+				if keep, ok := fx.CrashWipes[tr.ID]; ok {
+					e.prefix.CrashReset(keep)
+					delete(fx.CrashWipes, tr.ID)
+				}
+			}
 			worstCase := blocksFor(tr.PromptTokens + tr.OutputTokens)
 			// With a prefix cache, retained blocks are reclaimable
 			// capacity. Probe first — touching the matched chain makes it
@@ -388,6 +463,11 @@ func (e *Engine) ServeSource(src Source, maxBatch int, policy SchedPolicy, opts 
 			s.metrics = Metrics{ID: tr.ID, PromptTokens: tr.PromptTokens,
 				OutputTokens: tr.OutputTokens, CachedPromptTokens: matched,
 				RestoreTime: restore}
+			if fx != nil {
+				// A stalled device starts the restore+prefill at the
+				// window's end; the wait lands in this request's TTFT.
+				e.clock = fx.stallEnd(e.clock)
+			}
 			e.clock += restore
 			res, err := e.prefill(tr.PromptTokens - matched)
 			if err != nil {
@@ -427,8 +507,18 @@ func (e *Engine) ServeSource(src Source, maxBatch int, policy SchedPolicy, opts 
 		for _, s := range active {
 			ctxs = append(ctxs, s.ctx)
 		}
+		if fx != nil {
+			// No decode progress inside a stall window.
+			e.clock = fx.stallEnd(e.clock)
+		}
 		res := e.decodeChunk(ctxs, chunk)
 		energy := e.meter.Energy(res)
+		if fx != nil {
+			// Thermal throttle: the chunk's tokens take Factor times as
+			// long (energy is computed from the unstretched result — the
+			// same work, spread over more seconds at lower power).
+			res.Time *= fx.throttleAt(e.clock)
+		}
 		e.clock += res.Time
 		out.Events++
 		out.TotalEnergy += energy

@@ -20,11 +20,14 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // timeline), the saturation study (guarding the knee-vs-fleet-size
 // scaling and the analyzer's typed edge errors), and the tiering study
 // (guarding the host-tier verify marks — starved-point hit rate, warm
-// tail TTFT, token identity). Regenerate intentionally with
+// tail TTFT, token identity), and the outage drills (guarding the
+// recovery verify marks — retry+health beating abandonment on served
+// and hit rate at every fault point, with exact conservation).
+// Regenerate intentionally with
 //
 //	go test ./internal/experiments -run TestGoldenReports -update
 func TestGoldenReports(t *testing.T) {
-	for _, id := range []string{"sched", "fleet", "sessions", "tiering", "autoscale", "saturate"} {
+	for _, id := range []string{"sched", "fleet", "sessions", "tiering", "autoscale", "saturate", "drills"} {
 		t.Run(id, func(t *testing.T) {
 			tables, err := Run(id, Options{Seed: 7, Quick: true})
 			if err != nil {

@@ -54,6 +54,13 @@ type Options struct {
 	TierHostBlocks   int     // host-tier capacity in blocks (default 1024)
 	TierLinkBW       float64 // host-link bandwidth in bytes/s (default kvcache.DefaultHostLinkBandwidth)
 
+	// Drill* parameterize the "drills" driver (the CLI's drills
+	// subcommand threads them through); zero values select the driver's
+	// defaults and other drivers ignore them. The driver also honors
+	// FleetDevices (replica provision cycle).
+	DrillReplicas int     // pool size under fault injection (default 3)
+	DrillRestart  float64 // crash restart delay in seconds (default 10)
+
 	// Sat* parameterize the "saturate" driver (the CLI's saturate
 	// subcommand threads them through); zero values select the driver's
 	// defaults and other drivers ignore them. The driver also honors
@@ -223,7 +230,7 @@ func IDs() []string {
 		// Extensions beyond the paper's measured artifacts (§VI future
 		// work and design-choice ablations).
 		"saturation", "batchsweep", "powermodes", "specdec", "offload",
-		"fleet", "sessions", "tiering",
+		"fleet", "sessions", "tiering", "autoscale", "saturate", "drills",
 	}
 	out := make([]string, 0, len(registry))
 	for _, id := range order {

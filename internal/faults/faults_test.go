@@ -1,0 +1,162 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+	}{
+		{"replica out of range", Event{Replica: 3, Kind: Crash, At: 1}},
+		{"negative replica", Event{Replica: -1, Kind: Crash, At: 1}},
+		{"negative time", Event{Kind: Crash, At: -1}},
+		{"NaN time", Event{Kind: Crash, At: math.NaN()}},
+		{"infinite time", Event{Kind: Crash, At: math.Inf(1)}},
+		{"negative restart", Event{Kind: Crash, At: 1, Restart: -2}},
+		{"zero stall duration", Event{Kind: Stall, At: 1}},
+		{"negative throttle duration", Event{Kind: Throttle, At: 1, Duration: -1, Factor: 2}},
+		{"throttle factor below one", Event{Kind: Throttle, At: 1, Duration: 1, Factor: 0.5}},
+		{"throttle factor NaN", Event{Kind: Throttle, At: 1, Duration: 1, Factor: math.NaN()}},
+		{"unknown kind", Event{Kind: Kind(99), At: 1}},
+	}
+	for _, tc := range cases {
+		s := Schedule{Events: []Event{tc.ev}}
+		if err := s.Validate(3); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.ev)
+		}
+	}
+	ok := Schedule{Events: []Event{
+		{Replica: 0, Kind: Crash, At: 5, Restart: 10},
+		{Replica: 2, Kind: Crash, At: 5}, // permanent
+		{Replica: 1, Kind: Stall, At: 0, Duration: 2},
+		{Replica: 1, Kind: Throttle, At: 3, Duration: 4, Factor: 2.5},
+	}}
+	if err := ok.Validate(3); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestSortedCanonicalOrderAndCopy(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{Replica: 1, Kind: Throttle, At: 5, Duration: 1, Factor: 2},
+		{Replica: 0, Kind: Stall, At: 5, Duration: 1},
+		{Replica: 0, Kind: Crash, At: 5},
+		{Replica: 0, Kind: Crash, At: 1},
+	}}
+	got := s.Sorted()
+	want := []Event{
+		{Replica: 0, Kind: Crash, At: 1},
+		{Replica: 0, Kind: Crash, At: 5},
+		{Replica: 0, Kind: Stall, At: 5, Duration: 1},
+		{Replica: 1, Kind: Throttle, At: 5, Duration: 1, Factor: 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Sorted order:\n got %+v\nwant %+v", got, want)
+	}
+	if s.Events[0].At != 5 {
+		t.Fatal("Sorted must not reorder the receiver")
+	}
+}
+
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	cfg := GenConfig{
+		Replicas: 3, Horizon: 120,
+		CrashRate: 1.5, RestartDelay: 8,
+		StallRate: 2, StallDuration: 3,
+		ThrottleRate: 1, ThrottleDuration: 10, ThrottleFactor: 2,
+	}
+	a, err := Generate(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (config, seed) must generate the same schedule")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("non-zero rates generated no events")
+	}
+	if err := a.Validate(cfg.Replicas); err != nil {
+		t.Fatalf("generated schedule fails its own validation: %v", err)
+	}
+	for _, ev := range a.Events {
+		if ev.At >= cfg.Horizon {
+			t.Fatalf("event at %v outside horizon %v", ev.At, cfg.Horizon)
+		}
+		if ev.Kind == Crash && ev.Restart != cfg.RestartDelay {
+			t.Fatalf("crash restart %v, want %v", ev.Restart, cfg.RestartDelay)
+		}
+	}
+	other, err := Generate(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, other) {
+		t.Fatal("different seeds generated identical schedules")
+	}
+}
+
+// TestGenerateReplicaStreamsIndependent pins the named-stream property:
+// growing the fleet adds events for the new replicas without perturbing
+// the faults already drawn for existing ones.
+func TestGenerateReplicaStreamsIndependent(t *testing.T) {
+	cfg := GenConfig{Replicas: 2, Horizon: 100, CrashRate: 2, StallRate: 1, StallDuration: 2}
+	small, err := Generate(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Replicas = 4
+	big, err := Generate(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := func(s Schedule, below int) []Event {
+		var out []Event
+		for _, ev := range s.Events {
+			if ev.Replica < below {
+				out = append(out, ev)
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(filter(small, 2), filter(big, 2)) {
+		t.Fatal("adding replicas perturbed the existing replicas' fault streams")
+	}
+}
+
+func TestGenerateConfigValidation(t *testing.T) {
+	bad := []GenConfig{
+		{Replicas: 0, Horizon: 10},
+		{Replicas: 1, Horizon: 0},
+		{Replicas: 1, Horizon: 10, CrashRate: -1},
+		{Replicas: 1, Horizon: 10, RestartDelay: math.Inf(1)},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg, 1); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	// A factor <= 1 disables throttling rather than erroring.
+	s, err := Generate(GenConfig{Replicas: 1, Horizon: 10, ThrottleRate: 5, ThrottleDuration: 1, ThrottleFactor: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 0 {
+		t.Fatalf("factor 1 throttles should be disabled, got %d events", len(s.Events))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Crash: "crash", Stall: "stall", Throttle: "throttle", Kind(9): "kind(9)"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

@@ -179,9 +179,11 @@ func newAutoscaler(cfg *AutoscaleConfig, initial int, opts cacheOptions) (*autos
 }
 
 // liveAt reports whether the replica counts toward the live pool at t:
-// not retired, and not (permanently) failed — a replica whose FailAt
-// lands at or before the end of its warm-up is dead at birth and never
-// counts.
+// not retired, and not (permanently) failed or crash-dead — a replica
+// whose FailAt (or permanent-crash instant) lands at or before the end
+// of its warm-up is dead at birth and never counts. A replica down
+// awaiting a crash restart still counts: it holds pool resources and
+// will return.
 func (r *replica) liveAt(t float64) bool {
 	if r.retired {
 		return false
@@ -191,6 +193,14 @@ func (r *replica) liveAt(t float64) bool {
 			return false
 		}
 		if r.cfg.WarmupDelay >= r.cfg.FailAt {
+			return false
+		}
+	}
+	if r.tl != nil && !math.IsInf(r.tl.deadAt, 1) {
+		if t >= r.tl.deadAt {
+			return false
+		}
+		if r.cfg.WarmupDelay >= r.tl.deadAt {
 			return false
 		}
 	}

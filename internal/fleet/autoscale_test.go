@@ -283,7 +283,7 @@ func TestStickySessionsPurgedOnRetirement(t *testing.T) {
 	}
 	var out Metrics
 	var delays map[string]float64
-	if err := dispatch(ro, as, FIFO, engine.NewPeekable(engine.NewSliceSource(stream)), &delays, &out); err != nil {
+	if err := dispatch(ro, as, nil, FIFO, engine.NewPeekable(engine.NewSliceSource(stream)), &delays, &out); err != nil {
 		t.Fatal(err)
 	}
 	if out.Dropped != 0 {
@@ -314,5 +314,79 @@ func TestStickySessionsPurgedOnRetirement(t *testing.T) {
 	}
 	if ro.replicas[p].retired {
 		t.Errorf("session sa re-pinned to retired replica %d", p)
+	}
+}
+
+// TestProvisionRefusesAtMax is the emergency-path regression: provision
+// is the single place the Max bound is enforced for outage revivals
+// (the pressure triggers check it in observe), so a provision attempt
+// against a full pool must refuse rather than exceed the budget.
+func TestProvisionRefusesAtMax(t *testing.T) {
+	mk := func() *replica {
+		r, err := newReplica(ReplicaConfig{Spec: smallSpec(), Device: hw.JetsonAGXOrin64GB()}.withDefaults(0), cacheOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ro := &router{replicas: []*replica{mk(), mk()}, policy: LeastQueue}
+	as, err := newAutoscaler(&AutoscaleConfig{
+		Min: 1, Max: 2, Spec: smallSpec(),
+		Devices: []*hw.Device{hw.JetsonAGXOrin64GB()},
+	}, 2, cacheOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.provision(ro, 1, "outage"); err == nil {
+		t.Fatal("provision at Max must refuse")
+	}
+	if len(ro.replicas) != 2 || as.peak != 2 || len(as.events) != 0 {
+		t.Fatalf("refused provision mutated state: %d replicas, peak %d, %d events",
+			len(ro.replicas), as.peak, len(as.events))
+	}
+	// One replica dies for good: the pool is below Max again and the
+	// same emergency call must now succeed.
+	ro.replicas[0].cfg.FailAt = 0.5
+	if err := as.provision(ro, 1, "outage"); err != nil {
+		t.Fatalf("provision below Max refused: %v", err)
+	}
+	if got := ro.liveCount(1); got != 2 {
+		t.Fatalf("live %d after revival, want 2", got)
+	}
+}
+
+// TestOutageRevivalBoundedByMax runs repeated permanent crashes through
+// the emergency outage path end to end: however many revivals it takes,
+// the pool never exceeds the Max budget.
+func TestOutageRevivalBoundedByMax(t *testing.T) {
+	cfg := autoscaleConfig(1)
+	cfg.Autoscale.Max = 2
+	cfg.Autoscale.ScaleOn = ScaleOnMiss // keep the ordinary triggers silent
+	cfg.Replicas[0].CrashAt = 5         // the whole initial pool dies, lossily
+	reqs := burst(10, 2, 0)             // arrivals 0..18s straddle the outage
+	m, err := Serve(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PeakReplicas > cfg.Autoscale.Max {
+		t.Fatalf("peak %d exceeds Max %d", m.PeakReplicas, cfg.Autoscale.Max)
+	}
+	if m.Served+m.Dropped != m.Offered || m.Offered != len(reqs) {
+		t.Fatalf("conservation: served %d + dropped %d != offered %d", m.Served, m.Dropped, m.Offered)
+	}
+	outage := false
+	for _, ev := range m.ScaleEvents {
+		if ev.Up && ev.Reason == "outage" {
+			outage = true
+		}
+		if ev.Live > cfg.Autoscale.Max {
+			t.Fatalf("scale event %+v exceeds Max %d", ev, cfg.Autoscale.Max)
+		}
+	}
+	if !outage {
+		t.Error("expected an emergency outage provision in the event log")
+	}
+	if m.Served == 0 {
+		t.Error("revived pool served nothing")
 	}
 }

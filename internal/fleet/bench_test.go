@@ -3,6 +3,7 @@ package fleet
 import (
 	"testing"
 
+	"edgereasoning/internal/faults"
 	"edgereasoning/internal/workload"
 )
 
@@ -47,5 +48,54 @@ func BenchmarkAutoscaleServe(b *testing.B) {
 	}
 	if sink.Served+sink.Dropped != len(reqs) {
 		b.Fatalf("conservation broke under the bench config: %d + %d != %d", sink.Served, sink.Dropped, len(reqs))
+	}
+}
+
+// BenchmarkChaosServe measures the fault-tolerant serving path end to
+// end: a fixed generated fault schedule (crashes, stalls, throttles)
+// over a deadline-bearing stream with retry re-admission, circuit
+// breakers, and health-aware routing all active — the full recovery
+// machinery on top of dispatch and the concurrent drain. Frozen into
+// BENCH_serve.json and gated on allocs/op by scripts/bench.sh.
+func BenchmarkChaosServe(b *testing.B) {
+	profile := workload.InteractiveAssistant(6, 150)
+	profile.DeadlineSlack = 3
+	profile.DeadlineSlackMax = 9
+	reqs, err := workload.Generate(profile, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := faults.Generate(faults.GenConfig{
+		Replicas: 3, Horizon: 30,
+		CrashRate: 2, RestartDelay: 5,
+		StallRate: 2, StallDuration: 2,
+		ThrottleRate: 2, ThrottleDuration: 5, ThrottleFactor: 2,
+	}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func() Config {
+		cfg := homogeneousFleet(3, DeadlineAware)
+		cfg.Admission = Shed
+		cfg.Faults = &sched
+		cfg.Retry = &RetryPolicy{}
+		cfg.Health = &HealthConfig{}
+		return cfg
+	}
+	var sink Metrics
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := Serve(mk(), reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = m
+	}
+	if sink.Served+sink.Dropped != len(reqs) {
+		b.Fatalf("conservation broke under chaos: %d + %d != %d", sink.Served, sink.Dropped, len(reqs))
+	}
+	if sink.Crashes == 0 || sink.Retried == 0 {
+		b.Fatalf("degenerate chaos bench: %d crashes, %d retried", sink.Crashes, sink.Retried)
 	}
 }

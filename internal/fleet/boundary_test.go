@@ -190,3 +190,82 @@ func TestOutageDropPreservesFIFOSemantics(t *testing.T) {
 		t.Errorf("served %d dropped %d, want 1/1: the queued request's turn never comes", m.Served, m.Dropped)
 	}
 }
+
+// TestWarmupCrashBoundary mirrors TestWarmupFailBoundary for CrashAt,
+// the lossy counterpart of FailAt: routability needs t >= WarmupDelay
+// and t < CrashAt, so CrashAt <= WarmupDelay is dead at birth — the
+// replica crashes before (or the instant) it would come up, and with no
+// restart it never opens a window.
+func TestWarmupCrashBoundary(t *testing.T) {
+	const eps = 1e-9
+	cases := []struct {
+		name          string
+		warmup, crash float64
+		at            float64
+		routable      bool
+	}{
+		{"warm replica at crash instant", 0, 10, 10, false},
+		{"warm replica just before crash", 0, 10, 10 - eps, true},
+		{"dead at birth: crash == warmup, at the boundary", 10, 10, 10, false},
+		{"dead at birth: crash == warmup, before warmup", 10, 10, 10 - eps, false},
+		{"dead at birth: crash == warmup, after crash", 10, 10, 10 + eps, false},
+		{"dead at birth: crash below warmup", 10, 10 - eps, 10, false},
+		{"window open: crash just above warmup", 10, 10 + eps, 10, true},
+		{"window closed again past crash", 10, 10 + eps, 10 + eps, false},
+	}
+	for _, tc := range cases {
+		r := &replica{cfg: ReplicaConfig{WarmupDelay: tc.warmup, CrashAt: tc.crash}}
+		if _, err := compileFaults(Config{}, []*replica{r}); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := r.routableAt(tc.at); got != tc.routable {
+			t.Errorf("%s: routableAt(%v) = %v, want %v", tc.name, tc.at, got, tc.routable)
+		}
+		if live := r.liveAt(tc.at); tc.warmup >= tc.crash && live {
+			t.Errorf("%s: dead-at-birth replica counted live at t=%v", tc.name, tc.at)
+		}
+	}
+}
+
+// TestCrashAtVsFailAtSemantics pins the behavioral difference between
+// the two single-replica failure knobs on identical traffic: FailAt
+// drains cleanly (in-flight work finishes, nothing is aborted), CrashAt
+// is lossy (the in-flight suffix is aborted and, without a retry
+// policy, dropped). Both conserve every request.
+func TestCrashAtVsFailAtSemantics(t *testing.T) {
+	reqs := burst(20, 0, 0) // deep t=0 backlog on both replicas
+	run := func(mut func(*Config)) Metrics {
+		cfg := homogeneousFleet(2, LeastQueue)
+		mut(&cfg)
+		m, err := Serve(cfg, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Served+m.Dropped != m.Offered || m.Offered != len(reqs) {
+			t.Fatalf("conservation: served %d + dropped %d != offered %d", m.Served, m.Dropped, m.Offered)
+		}
+		return m
+	}
+	drained := run(func(c *Config) { c.Replicas[0].FailAt = 1 })
+	if drained.Crashes != 0 || drained.Aborted != 0 || drained.LostWorkSeconds != 0 {
+		t.Errorf("FailAt must drain, not crash: %d crashes, %d aborted, %.3f lost seconds",
+			drained.Crashes, drained.Aborted, drained.LostWorkSeconds)
+	}
+	crashed := run(func(c *Config) { c.Replicas[0].CrashAt = 1 })
+	if crashed.Crashes != 1 || crashed.Aborted == 0 {
+		t.Fatalf("CrashAt must abort in-flight work: %d crashes, %d aborted", crashed.Crashes, crashed.Aborted)
+	}
+	if crashed.AbortedDropped != crashed.Aborted {
+		t.Errorf("without a retry policy every abort drops: %d aborted, %d dropped",
+			crashed.Aborted, crashed.AbortedDropped)
+	}
+	if crashed.LostWorkSeconds <= 0 {
+		t.Error("a lossy crash must account lost work")
+	}
+	// The drained replica keeps everything it was assigned; the crashed
+	// one loses its aborted suffix.
+	if drained.Served <= crashed.Served {
+		t.Errorf("drained leg served %d, crashed leg %d: a clean drain must not lose work",
+			drained.Served, crashed.Served)
+	}
+}

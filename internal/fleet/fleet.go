@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"edgereasoning/internal/engine"
+	"edgereasoning/internal/faults"
 	"edgereasoning/internal/hw"
 	"edgereasoning/internal/model"
 	"edgereasoning/internal/stats"
@@ -56,6 +57,14 @@ type ReplicaConfig struct {
 	// which it can take a request, even when the two are exactly equal.
 	// Only FailAt > WarmupDelay opens a routable window.
 	FailAt float64
+	// CrashAt, when positive, is FailAt's lossy counterpart: the replica
+	// crashes at this simulated time, destroying its in-flight requests
+	// and device KV cache (FailAt drains — routed work still completes;
+	// CrashAt loses it). The crash is permanent; use Config.Faults for
+	// crashes that restart. The dead-at-birth boundary mirrors FailAt:
+	// CrashAt <= WarmupDelay leaves no instant at which the replica can
+	// take a request.
+	CrashAt float64
 }
 
 func (rc ReplicaConfig) withDefaults(i int) ReplicaConfig {
@@ -97,6 +106,18 @@ type Config struct {
 	// HostLinkBandwidth prices tier promotions in bytes/second (default
 	// kvcache.DefaultHostLinkBandwidth).
 	HostLinkBandwidth float64
+	// Faults, when non-nil, injects the schedule's crashes, stalls, and
+	// throttles into the configured replicas (autoscaler provisions are
+	// fault-free). See package faults for semantics.
+	Faults *faults.Schedule
+	// Retry, when non-nil, re-admits crash-aborted requests through the
+	// shared ingress under the policy's attempt/backoff/deadline bounds.
+	// Nil drops aborted work — the no-recovery baseline.
+	Retry *RetryPolicy
+	// Health, when non-nil, enables health-aware routing: per-replica
+	// consecutive-failure circuit breakers with half-open probes, and
+	// stall-window avoidance. Nil routes blind.
+	Health *HealthConfig
 }
 
 // cacheOptions carries the fleet-level engine cache knobs to replica
@@ -195,6 +216,24 @@ type Metrics struct {
 	TierPromotions int
 	HostHits       int
 	RestoreSeconds float64
+	// Fault-injection and recovery accounting (zero without Config.Faults
+	// or ReplicaConfig.CrashAt). Crashes counts crash events striking the
+	// pool; Aborted the in-flight dispatches they destroyed (a request
+	// aborted twice counts twice); Retried the aborts scheduled for
+	// re-admission; AbortedDropped — a subset of Dropped, like Shed — the
+	// aborts abandoned for good (retry disabled, attempts exhausted, no
+	// deadline budget left, or a permanent outage drained the retry
+	// queue); LostWorkSeconds the estimated service time destroyed
+	// mid-flight; BreakerOpens the circuit-breaker opens under
+	// health-aware routing. Conservation still holds as
+	// Served + Dropped == Offered: retries are not re-offered, and every
+	// abort either completes a later attempt or lands in Dropped once.
+	Crashes         int
+	Aborted         int
+	Retried         int
+	AbortedDropped  int
+	LostWorkSeconds float64
+	BreakerOpens    int
 }
 
 // HitRate returns the fraction of deadline-bearing requests that met
@@ -239,6 +278,19 @@ type replica struct {
 	idleFrom      float64
 	retired       bool
 	retiredAt     float64
+	// Fault machinery, nil/zero on fault-free replicas so the legacy
+	// paths stay untouched: tl is the compiled fault timeline and hs the
+	// circuit-breaker state; estFinish mirrors assigned with estimated
+	// completion times (maintained only when trackEst — crash-prone
+	// replicas — so fault-free dispatch stays allocation-identical) and
+	// recovers the abort suffix at a crash; pendingWipe arms the next
+	// take to mark its request as the cache-wipe boundary in wipes.
+	tl          *timeline
+	hs          *healthState
+	estFinish   []float64
+	trackEst    bool
+	wipes       map[string]bool
+	pendingWipe bool
 }
 
 // newReplica builds the serving engine for one replica config and
@@ -275,6 +327,23 @@ func (r *replica) estService(tr engine.TimedRequest) float64 {
 	return r.prefillPerTok*float64(tr.PromptTokens) + r.decodePerTok*float64(tr.OutputTokens)
 }
 
+// estFinishFor estimates the completion time of tr started at start —
+// but only under health-aware routing (r.hs != nil) does the estimate
+// integrate the replica's thermal-throttle windows, so the router reads
+// the device's thermal state and steers deadline-critical work toward
+// cool replicas. A blind fleet estimates full speed and eats the
+// stretch at drain time. This is a routing signal only: the recorded
+// dispatch estimates (estFreeAt, finishes, estFinish) stay unstretched,
+// so crash abort sets and capacity accounting are identical across
+// health-aware and blind legs of the same schedule.
+func (r *replica) estFinishFor(tr engine.TimedRequest, start float64) float64 {
+	svc := r.estService(tr)
+	if r.hs != nil && r.tl != nil && len(r.tl.throttles) > 0 {
+		return r.tl.finishAfter(start, svc)
+	}
+	return start + svc
+}
+
 // speed is the router's weight for latency-weighted spreading: estimated
 // throughput on a reference interactive request.
 func (r *replica) speed() float64 {
@@ -286,8 +355,12 @@ func (r *replica) speed() float64 {
 }
 
 // routableAt reports whether the router may hand the replica a request
-// at time t (warm, not failed, not retired); capacity is checked
-// separately.
+// at time t (warm, not failed or crash-dead, not retired, not down
+// awaiting restart, not breaker-blocked); capacity is checked
+// separately. Under health-aware routing a replica inside a stall
+// window is also unroutable — the health layer detects the stall and
+// steers around it, while a blind fleet keeps dispatching into it and
+// pays the freeze at drain time.
 func (r *replica) routableAt(t float64) bool {
 	if t < r.cfg.WarmupDelay {
 		return false
@@ -298,7 +371,68 @@ func (r *replica) routableAt(t float64) bool {
 	if r.retired {
 		return false
 	}
+	if r.tl != nil {
+		if down, _ := r.tl.downAt(t); down {
+			return false
+		}
+	}
+	if r.hs != nil {
+		if blocked, _ := r.hs.blockedAt(t); blocked {
+			return false
+		}
+		if r.tl != nil && r.tl.stallEnd(t) > t {
+			return false
+		}
+	}
 	return true
+}
+
+// availAt returns the earliest instant >= t at which the replica could
+// be routable again — warm-ups, crash downtime, breaker opens, and
+// (under health-aware routing) stall windows all push it out — or
+// never=true when no such instant exists. Capacity is not considered.
+func (r *replica) availAt(t float64) (float64, bool) {
+	for {
+		switch {
+		case r.retired:
+			return 0, true
+		case r.cfg.FailAt > 0 && t >= r.cfg.FailAt:
+			return 0, true
+		case r.tl != nil && t >= r.tl.deadAt:
+			return 0, true
+		case t < r.cfg.WarmupDelay:
+			if r.cfg.FailAt > 0 && r.cfg.WarmupDelay >= r.cfg.FailAt {
+				return 0, true // dead at birth
+			}
+			if r.tl != nil && r.cfg.WarmupDelay >= r.tl.deadAt {
+				return 0, true // crash-dead at birth
+			}
+			t = r.cfg.WarmupDelay
+			continue
+		}
+		if r.tl != nil {
+			if down, until := r.tl.downAt(t); down {
+				if math.IsInf(until, 1) {
+					return 0, true
+				}
+				t = until
+				continue
+			}
+		}
+		if r.hs != nil {
+			if blocked, until := r.hs.blockedAt(t); blocked {
+				t = until
+				continue
+			}
+			if r.tl != nil {
+				if end := r.tl.stallEnd(t); end > t {
+					t = end
+					continue
+				}
+			}
+		}
+		return t, false
+	}
 }
 
 // depth drops completed estimates and returns outstanding count at t.
@@ -329,6 +463,22 @@ func (r *replica) take(tr engine.TimedRequest, t float64) {
 		r.assigned = make([]engine.TimedRequest, 0, 64)
 	}
 	r.assigned = append(r.assigned, tr)
+	if r.trackEst {
+		// Estimated finishes are monotone in dispatch order (est is
+		// max(estFreeAt, t) + service, and estFreeAt ratchets), so the
+		// abort set at a crash is always a suffix of assigned.
+		r.estFinish = append(r.estFinish, est)
+	}
+	if r.pendingWipe {
+		if r.wipes == nil {
+			r.wipes = make(map[string]bool)
+		}
+		r.wipes[tr.ID] = r.tl.keepHost
+		r.pendingWipe = false
+	}
+	if r.hs != nil {
+		r.hs.noteTake(tr.ID, t, est)
+	}
 }
 
 // Serve routes the open-loop stream across the fleet and executes every
@@ -377,7 +527,31 @@ func ServeSource(cfg Config, src engine.Source) (Metrics, error) {
 	// serves the whole run — request IDs are unique across replicas —
 	// and it stays nil while the fleet keeps up.
 	var delays map[string]float64
-	if err := dispatch(router, as, cfg.Admission, stream, &delays, &out); err != nil {
+	crashes, err := compileFaults(cfg, replicas)
+	if err != nil {
+		return Metrics{}, err
+	}
+	var cx *chaos
+	if len(crashes) > 0 {
+		cx = &chaos{ro: router, healthOn: cfg.Health != nil, events: crashes, delays: &delays, out: &out}
+		if cfg.Retry != nil {
+			if err := cfg.Retry.validate(); err != nil {
+				return Metrics{}, err
+			}
+			cx.retry = cfg.Retry.withDefaults()
+			cx.retryOn = true
+		}
+	}
+	if cfg.Health != nil {
+		h := cfg.Health.withDefaults()
+		if err := h.validate(); err != nil {
+			return Metrics{}, err
+		}
+		for _, r := range replicas {
+			r.hs = &healthState{cfg: h}
+		}
+	}
+	if err := dispatch(router, as, cx, cfg.Admission, stream, &delays, &out); err != nil {
 		return out, err
 	}
 	replicas = router.replicas // the autoscaler may have grown the pool
@@ -402,7 +576,8 @@ func ServeSource(cfg Config, src engine.Source) (Metrics, error) {
 			// copy, no re-sort.
 			r.src.Reset(r.assigned)
 			sm, err := r.eng.ServeSource(&r.src,
-				r.cfg.MaxBatch, discipline, engine.ServeOpts{SizeHint: len(r.assigned)})
+				r.cfg.MaxBatch, discipline,
+				engine.ServeOpts{SizeHint: len(r.assigned), Faults: r.injection()})
 			results[i] = drained{sm: sm, err: err}
 		}(i, r)
 	}
@@ -481,7 +656,7 @@ func ServeSource(cfg Config, src engine.Source) (Metrics, error) {
 // the admission discipline picks which waiting request goes next. The
 // dispatch clock is monotone — a request is never dispatched before an
 // earlier decision's time.
-func dispatch(ro *router, as *autoscaler, admission Admission, stream *engine.Peekable, delays *map[string]float64, out *Metrics) error {
+func dispatch(ro *router, as *autoscaler, cx *chaos, admission Admission, stream *engine.Peekable, delays *map[string]float64, out *Metrics) error {
 	q := &ingress{discipline: admission}
 	drop := func(tr engine.TimedRequest) {
 		out.Dropped++
@@ -494,25 +669,66 @@ func dispatch(ro *router, as *autoscaler, admission Admission, stream *engine.Pe
 		drop(tr)
 	}
 	// admitUntil moves every stream request arriving at or before t into
-	// the shared queue, counting it as offered.
+	// the shared queue, counting it as offered — and, under fault
+	// injection, re-admits crash-aborted requests whose retry time has
+	// come (already offered on first arrival, so not re-counted).
 	admitUntil := func(t float64) {
 		for {
 			tr, ok := stream.Peek()
 			if !ok || tr.Arrival > t {
-				return
+				break
 			}
 			stream.Next()
 			out.Offered++
 			q.push(tr)
 		}
+		if cx != nil {
+			for {
+				tr, ok := cx.popRetryUntil(t)
+				if !ok {
+					break
+				}
+				q.push(tr)
+			}
+		}
 	}
 
 	now := 0.0
-	for stream.More() || q.len() > 0 {
-		if q.len() == 0 {
-			if tr, ok := stream.Peek(); ok && tr.Arrival > now {
-				now = tr.Arrival
+	for {
+		if !(stream.More() || q.len() > 0 || (cx != nil && cx.retryPending())) {
+			// Nothing left to dispatch. Remaining crash events can still
+			// abort already-routed work: processing them may refill the
+			// retry queue (looping us back) or drop the aborts for good.
+			if cx == nil || !cx.crashPending() {
+				break
 			}
+			if at, _ := cx.nextCrashAt(); at > now {
+				now = at
+			}
+			cx.processUpTo(now)
+			continue
+		}
+		if q.len() == 0 {
+			next := math.Inf(1)
+			if tr, ok := stream.Peek(); ok {
+				next = tr.Arrival
+			}
+			if cx != nil {
+				if at, ok := cx.nextRetryAt(); ok && at < next {
+					next = at
+				}
+				// Never advance past an unprocessed crash: its aborts may
+				// spawn retries due before the next arrival.
+				if at, ok := cx.nextCrashAt(); ok && at < next {
+					next = at
+				}
+			}
+			if next > now {
+				now = next
+			}
+		}
+		if cx != nil {
+			cx.processUpTo(now)
 		}
 		admitUntil(now)
 		if as != nil {
@@ -520,18 +736,33 @@ func dispatch(ro *router, as *autoscaler, admission Admission, stream *engine.Pe
 				return err
 			}
 		}
+		if q.len() == 0 {
+			// The idle advance landed on a crash instant rather than an
+			// arrival or retry; the event is processed, nothing is waiting.
+			continue
+		}
 		t, ok := ro.nextFree(now)
 		if !ok {
 			// Permanent outage: every replica is dead for good, with no
-			// warm-ups pending. An autoscaler below Max revives the pool
-			// with an emergency provision (ignoring cooldown); otherwise
-			// nothing can, so drop the rest of the stream in O(1) per
-			// request instead of rescanning the replicas for each one.
+			// warm-ups, restarts, or breaker probes pending. An autoscaler
+			// below Max revives the pool with an emergency provision
+			// (ignoring cooldown); otherwise nothing can, so drop the rest
+			// of the stream in O(1) per request instead of rescanning the
+			// replicas for each one.
 			if as != nil && ro.liveCount(now) < as.cfg.Max {
 				if err := as.provision(ro, now, "outage"); err != nil {
 					return err
 				}
 				continue
+			}
+			if cx != nil {
+				// Remaining crash events can only abort work that nothing
+				// can re-serve: account them, then drop the retry queue.
+				cx.processUpTo(math.Inf(1))
+				cx.drainRetries(func(tr engine.TimedRequest) {
+					out.AbortedDropped++
+					drop(tr)
+				})
 			}
 			q.drain(drop)
 			for {
@@ -543,6 +774,17 @@ func dispatch(ro *router, as *autoscaler, admission Admission, stream *engine.Pe
 				drop(tr)
 			}
 			return nil
+		}
+		if cx != nil {
+			// A crash between now and the planned dispatch instant
+			// invalidates the plan — it may free capacity (aborts), kill
+			// the chosen replica, or open a breaker. Process it and
+			// re-route; dispatch never crosses an unprocessed crash.
+			if at, ok := cx.nextCrashAt(); ok && at <= t {
+				cx.processUpTo(at)
+				now = at
+				continue
+			}
 		}
 		// Arrivals during the capacity wait join the queue before the
 		// discipline picks, so a reordering ingress sees everything that
@@ -605,8 +847,14 @@ func foldAutoscale(out *Metrics, ro *router, as *autoscaler) {
 		switch {
 		case r.retired:
 			end = r.retiredAt
-		case r.cfg.FailAt > 0 && r.cfg.FailAt < end:
-			end = r.cfg.FailAt
+		default:
+			if r.cfg.FailAt > 0 && r.cfg.FailAt < end {
+				end = r.cfg.FailAt
+			}
+			// A permanent crash ends the replica's bill like a failure.
+			if r.tl != nil && r.tl.deadAt < end {
+				end = r.tl.deadAt
+			}
 		}
 		if end < r.provisionedAt {
 			end = r.provisionedAt
@@ -668,24 +916,26 @@ func (ro *router) nextFree(t float64) (float64, bool) {
 				return t, true
 			}
 		}
-		// Everyone is full, cold, dead, or retired: advance to the next
-		// time a replica could accept — its earliest outstanding
-		// completion, or the end of its warm-up.
+		// Everyone is full, cold, dead, down, blocked, or retired:
+		// advance to the next time a replica could accept — when it next
+		// becomes available (warm-up end, crash restart, breaker probe),
+		// or, if it is available but at capacity, when its earliest
+		// outstanding completion frees a slot (provided it is still
+		// available then).
 		next := math.Inf(1)
 		for _, r := range ro.replicas {
-			switch {
-			case r.retired:
-				// Drained out of the pool for good.
-			case r.cfg.FailAt > 0 && t >= r.cfg.FailAt:
-				// Dead for good.
-			case t < r.cfg.WarmupDelay:
-				if r.cfg.FailAt <= 0 || r.cfg.WarmupDelay < r.cfg.FailAt {
-					next = math.Min(next, r.cfg.WarmupDelay)
-				}
-			case len(r.finishes) > 0:
+			at, never := r.availAt(t)
+			if never {
+				continue
+			}
+			if at > t {
+				next = math.Min(next, at)
+				continue
+			}
+			if len(r.finishes) > 0 {
 				free := r.finishes[0]
-				if r.cfg.FailAt <= 0 || free < r.cfg.FailAt {
-					next = math.Min(next, free)
+				if at2, never2 := r.availAt(free); !never2 {
+					next = math.Min(next, math.Max(free, at2))
 				}
 			}
 		}
@@ -704,7 +954,7 @@ func (ro *router) bestService(tr engine.TimedRequest, t float64) float64 {
 	best := math.Inf(1)
 	for _, r := range ro.replicas {
 		if r.routableAt(t) && r.depth(t) < r.cfg.Capacity {
-			if s := r.estService(tr); s < best {
+			if s := r.estFinishFor(tr, t) - t; s < best {
 				best = s
 			}
 		}
@@ -828,7 +1078,7 @@ func (ro *router) choose(candidates []int, tr engine.TimedRequest, t float64) in
 		best, bestFinish := candidates[0], math.Inf(1)
 		for _, i := range candidates {
 			r := ro.replicas[i]
-			est := math.Max(r.estFreeAt, t) + r.estService(tr)
+			est := r.estFinishFor(tr, math.Max(r.estFreeAt, t))
 			if est < bestFinish {
 				best, bestFinish = i, est
 			}

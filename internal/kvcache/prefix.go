@@ -9,7 +9,10 @@
 // ones make room.
 package kvcache
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // prefixSeed is the FNV-64a offset basis; block hash chains start here.
 const prefixSeed uint64 = 14695981039346656037
@@ -47,6 +50,11 @@ type PrefixMetrics struct {
 	// promotions (blocks x block bytes / link bandwidth). The engine
 	// folds per-Acquire deltas into that request's TTFT.
 	RestoreSeconds float64
+	// CrashWipes counts CrashReset calls; CrashDropped the entries they
+	// destroyed (device entries always; host entries unless the tier was
+	// kept and their whole chain was host-resident).
+	CrashWipes   int
+	CrashDropped int
 }
 
 // hostBlock marks an entry whose block contents live on the host tier:
@@ -338,6 +346,74 @@ func (ix *PrefixIndex) evictOne() bool {
 	}
 	ix.pool = append(ix.pool, e)
 	return true
+}
+
+// CrashReset models a device power loss: every device-resident entry is
+// dropped — HBM contents do not survive a crash — and its block
+// reference released. With keepHost (and a host tier attached), host
+// entries whose entire hash chain is host-resident survive, modeling
+// persistent host DRAM; a host tail whose upper chain lived on the
+// device is orphaned by the wipe (its chained hashes can no longer be
+// reached from the chain root) and is dropped with it. Without keepHost
+// the host tier is cleared too. Live sequences are untouched: the
+// serving layer aborts them separately, and their blocks free when they
+// do. Index invariants hold afterwards.
+func (ix *PrefixIndex) CrashReset(keepHost bool) {
+	ix.m.CrashWipes++
+	if len(ix.entries) == 0 {
+		return
+	}
+	survives := func(e *prefixEntry) bool {
+		if !keepHost || !e.onHost {
+			return false
+		}
+		for p := e; p != nil; p = p.parent {
+			if !p.onHost {
+				return false
+			}
+		}
+		return true
+	}
+	var kept []*prefixEntry
+	for _, e := range ix.entries {
+		if survives(e) {
+			kept = append(kept, e)
+			continue
+		}
+		if e.onHost {
+			ix.m.HostRetained--
+			ix.host.resident--
+		} else {
+			ix.c.indexRef(e.block, -1)
+			ix.c.release(e.block)
+			ix.m.Retained--
+		}
+		ix.m.CrashDropped++
+		ix.pool = append(ix.pool, e)
+	}
+	// Rebuild wholesale. Survivors keep their exact counters: a
+	// surviving host entry's parent is host and surviving (the whole
+	// chain is), every host child of a survivor survives with it, and
+	// host entries never have device children — so children and
+	// hostChildren are already right. Only the map and the LRU lists
+	// need reconstructing; unique lastUse ticks give a deterministic
+	// order regardless of map iteration.
+	ix.entries = make(map[uint64]*prefixEntry, len(kept))
+	ix.lru = lruList{}
+	if ix.host != nil {
+		ix.host.lru = lruList{}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].lastUse < kept[j].lastUse })
+	for _, e := range kept {
+		e.prev, e.next, e.inLRU = nil, nil, false
+		ix.entries[e.hash] = e
+	}
+	for _, e := range kept {
+		if e.hostChildren == 0 {
+			ix.host.lru.push(e) // ascending lastUse: push keeps it sorted
+		}
+	}
+	ix.mut++
 }
 
 // newEntry returns an entry shell, recycled from the pool when possible

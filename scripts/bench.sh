@@ -14,7 +14,9 @@
 # the host-DRAM KV tier demoting and promoting continuously), the
 # KV-cache append paths (bulk handle-based vs per-token), the
 # elastic-fleet serving path (fleet.Serve with autoscaling and shed
-# admission), and
+# admission), the chaos serving path (fleet.Serve under a generated
+# fault schedule with retry re-admission, circuit breakers, and
+# health-aware routing), and
 # the million-request streamed soak (engine.ServeSource over a lazy
 # workload source; sim-events/s and live heap ride along as custom
 # metrics). Only allocs/op is gated — it is deterministic across machines — while ns/op
@@ -38,7 +40,7 @@ run_benches() {
     -benchmem -benchtime 1x -count 1 ./internal/engine
   go test -run '^$' -bench 'BenchmarkKVAppend$|BenchmarkKVAppendToken$' \
     -benchmem -benchtime "$BENCHTIME" -count 1 ./internal/kvcache
-  go test -run '^$' -bench 'BenchmarkAutoscaleServe$' \
+  go test -run '^$' -bench 'BenchmarkAutoscaleServe$|BenchmarkChaosServe$' \
     -benchmem -benchtime "$BENCHTIME" -count 1 ./internal/fleet
 }
 
