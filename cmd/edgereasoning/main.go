@@ -13,6 +13,7 @@
 //	edgereasoning saturate [flags]     # saturation-knee capacity analysis
 //	edgereasoning drills [flags]       # fault-injection outage drills
 //	edgereasoning soak [flags]         # streamed large-N soak (sim-events/sec)
+//	edgereasoning trace [flags]        # faulted autoscaled run with telemetry export
 //	edgereasoning sweep <id> [flags]   # fan one experiment across seeds
 //
 // Flags:
@@ -45,6 +46,8 @@
 //	-slo X        saturate: p99 bound in seconds, or hitrate floor in [0,1]
 //	-metric M     saturate: p99 | hitrate (default p99)
 //	-requests N   saturate: requests per probe; soak: requests to stream (1e6)
+//	-out F        trace: Chrome trace-event JSON output path (default trace.json)
+//	-metrics-out F trace: Prometheus text-format snapshot output path
 //
 // Experiments run on a worker pool but the report is emitted in registry
 // order, so output is byte-identical at any parallelism.
@@ -189,6 +192,8 @@ func run(args []string) error {
 		return execute([]string{"drills"}, cfg)
 	case "soak":
 		return soak(rest)
+	case "trace":
+		return traceCmd(rest)
 	case "sweep":
 		if len(rest) == 0 {
 			return fmt.Errorf("sweep: missing experiment id")
@@ -735,6 +740,10 @@ commands:
   saturate [flags]     binary-search offered QPS to the SLO saturation knee
   drills [flags]       fault-injection outage drills: crashes, stalls, throttling
   soak [flags]         stream a large open-loop run end to end (sim-events/sec)
+  trace [flags]        trace a faulted autoscaled run; export Perfetto JSON +
+                       Prometheus snapshot (-out, -metrics-out, -requests, -qps,
+                       -replicas, -max, -seed, -crash-rate, -throttle,
+                       -cpuprofile, -memprofile)
   sweep <id> [flags]   fan one experiment across seeds (variance estimation)
 
 flags:

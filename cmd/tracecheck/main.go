@@ -1,0 +1,59 @@
+// Command tracecheck validates telemetry artifacts emitted by the
+// `edgereasoning trace` subcommand, for use as a CI gate:
+//
+//	tracecheck -trace trace.json                        # Chrome trace JSON only
+//	tracecheck -trace trace.json -metrics metrics.prom  # plus Prometheus snapshot
+//
+// The trace check parses the Chrome trace-event JSON and enforces the
+// structural invariants Perfetto relies on: metadata naming for every
+// referenced pid/tid, non-negative monotonic-compatible timestamps,
+// known phase types, and every flow-start ("s") event paired with a
+// matching flow-finish ("f") by id. The metrics check enforces
+// Prometheus text-format 0.0.4: HELP/TYPE headers before samples,
+// counter samples ending in _total, histogram bucket/sum/count
+// consistency, and parseable values. Exits non-zero with a diagnostic
+// on the first violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgereasoning/internal/telemetry"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "Chrome trace-event JSON file to validate")
+	metricsPath := flag.String("metrics", "", "Prometheus text-format snapshot to validate (optional)")
+	flag.Parse()
+	if *tracePath == "" && *metricsPath == "" {
+		fmt.Fprintln(os.Stderr, "tracecheck: nothing to do (need -trace and/or -metrics)")
+		os.Exit(2)
+	}
+	if *tracePath != "" {
+		data, err := os.ReadFile(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.ValidateChromeTrace(data); err != nil {
+			fatal(fmt.Errorf("%s: %w", *tracePath, err))
+		}
+		fmt.Printf("tracecheck: %s ok (%d bytes)\n", *tracePath, len(data))
+	}
+	if *metricsPath != "" {
+		data, err := os.ReadFile(*metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.ValidatePrometheus(data); err != nil {
+			fatal(fmt.Errorf("%s: %w", *metricsPath, err))
+		}
+		fmt.Printf("tracecheck: %s ok (%d bytes)\n", *metricsPath, len(data))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

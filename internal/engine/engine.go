@@ -13,6 +13,7 @@ import (
 	"edgereasoning/internal/kvcache"
 	"edgereasoning/internal/model"
 	"edgereasoning/internal/power"
+	"edgereasoning/internal/telemetry"
 )
 
 // Overhead models a host-side inference framework's cost on top of the
@@ -72,6 +73,12 @@ type Config struct {
 	// HostLinkBandwidth is the host<->device link rate in bytes/second
 	// used to price promotions (default kvcache.DefaultHostLinkBandwidth).
 	HostLinkBandwidth float64
+	// Trace, when non-nil, records per-request phase spans and sampled
+	// gauges (KV occupancy, active batch, power) from every serve run
+	// into the given telemetry track. Nil is the default and costs
+	// nothing: every producer site is a nil check, the serve loop's
+	// timing and metrics are byte-identical either way.
+	Trace telemetry.Tracer
 }
 
 // Request is one generation job. OutputTokens is decided ahead of
@@ -325,6 +332,11 @@ type activeSeq struct {
 	// serve loop can return it to the free list on completion (Run's
 	// one-shot arena leaves it zero).
 	slot int
+	// admitAt is the clock at the admission decision (the request span's
+	// start when tracing); session carries the request's session tag for
+	// span attribution. Both are plain copies — no tracing cost when off.
+	admitAt float64
+	session string
 	// promptSyms/outputSyms carry the request's token identities so the
 	// finished sequence can be retained in the prefix index (nil when the
 	// engine has no prefix cache or the request carried none).

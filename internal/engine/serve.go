@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"edgereasoning/internal/stats"
+	"edgereasoning/internal/telemetry"
 )
 
 // TimedRequest is a request with an arrival time and an optional absolute
@@ -270,6 +271,21 @@ func (e *Engine) ServeSource(src Source, maxBatch int, policy SchedPolicy, opts 
 		return ServeMetrics{}, fmt.Errorf("engine: clock %.3f already past first arrival %.3f", e.clock, tr.Arrival)
 	}
 	fx := opts.Faults
+	// Tracing is resolved once per run; every producer site below guards
+	// on tra so a nil tracer pays exactly one pointer compare and the
+	// run's timing and metrics stay byte-identical with tracing off.
+	tra := e.cfg.Trace
+	var (
+		kvGauge, actGauge, powGauge *telemetry.Series
+		ttftHist, rateHist          *stats.Histogram
+	)
+	if tra != nil {
+		kvGauge = tra.Gauge("kv_used_blocks")
+		actGauge = tra.Gauge("active_requests")
+		powGauge = tra.Gauge("power_watts")
+		ttftHist = tra.Histogram("ttft_seconds", telemetry.TTFTBuckets)
+		rateHist = tra.Histogram("decode_tokens_per_sec", telemetry.DecodeRateBuckets)
+	}
 
 	var ready readyQueue
 	active := make([]*activeSeq, 0, maxBatch)
@@ -338,6 +354,16 @@ func (e *Engine) ServeSource(src Source, maxBatch int, policy SchedPolicy, opts 
 		if !opts.LeanMetrics {
 			s.metrics.QueueTime = lat - s.metrics.TotalTime()
 			out.Requests = append(out.Requests, s.metrics)
+		}
+		if tra != nil {
+			tra.Record(telemetry.Span{ID: s.req.ID, Kind: telemetry.KindRequest,
+				Lane: s.slot, Start: s.admitAt, End: e.clock, Session: s.session,
+				Wait:   s.admitAt - s.arrival,
+				Tokens: s.req.PromptTokens + s.req.OutputTokens,
+				Cached: s.metrics.CachedPromptTokens})
+			if s.metrics.DecodeTime > 0 {
+				rateHist.Observe(float64(s.req.OutputTokens) / s.metrics.DecodeTime)
+			}
 		}
 		out.TotalTokens += s.req.PromptTokens + s.req.OutputTokens
 		s.promptSyms, s.outputSyms = nil, nil
@@ -439,7 +465,8 @@ func (e *Engine) ServeSource(src Source, maxBatch int, policy SchedPolicy, opts 
 			freeSlots = freeSlots[:len(freeSlots)-1]
 			s := &arena[slot]
 			*s = activeSeq{req: tr.Request, ctx: tr.PromptTokens, remaining: tr.OutputTokens,
-				arrival: tr.Arrival, deadline: tr.Deadline, slot: slot}
+				arrival: tr.Arrival, deadline: tr.Deadline, slot: slot,
+				admitAt: e.clock, session: tr.SessionID}
 			if e.prefix != nil {
 				s.promptSyms, s.outputSyms = tr.PromptSyms, tr.OutputSyms
 			}
@@ -466,12 +493,28 @@ func (e *Engine) ServeSource(src Source, maxBatch int, policy SchedPolicy, opts 
 			if fx != nil {
 				// A stalled device starts the restore+prefill at the
 				// window's end; the wait lands in this request's TTFT.
-				e.clock = fx.stallEnd(e.clock)
+				if st := fx.stallEnd(e.clock); st > e.clock {
+					if tra != nil {
+						tra.Record(telemetry.Span{ID: tr.ID, Kind: telemetry.KindStall,
+							Lane: slot, Start: e.clock, End: st})
+					}
+					e.clock = st
+				}
+			}
+			if tra != nil && restore > 0 {
+				tra.Record(telemetry.Span{ID: tr.ID, Kind: telemetry.KindRestore,
+					Lane: slot, Start: e.clock, End: e.clock + restore})
 			}
 			e.clock += restore
 			res, err := e.prefill(tr.PromptTokens - matched)
 			if err != nil {
 				return out, err
+			}
+			if tra != nil {
+				tra.Record(telemetry.Span{ID: tr.ID, Kind: telemetry.KindPrefill,
+					Lane: slot, Start: e.clock, End: e.clock + res.Time,
+					Tokens: tr.PromptTokens - matched, Cached: matched})
+				ttftHist.Observe(e.clock + res.Time - tr.Arrival)
 			}
 			e.clock += res.Time
 			out.Events++
@@ -479,6 +522,10 @@ func (e *Engine) ServeSource(src Source, maxBatch int, policy SchedPolicy, opts 
 			s.metrics.PrefillEnergy = e.meter.Energy(res)
 			out.TotalEnergy += s.metrics.PrefillEnergy
 			active = append(active, s)
+			if tra != nil {
+				kvGauge.Sample(e.clock, float64(e.cache.UsedBlocks()))
+				actGauge.Sample(e.clock, float64(len(active)))
+			}
 			promote()
 		}
 		if len(active) == 0 {
@@ -509,16 +556,29 @@ func (e *Engine) ServeSource(src Source, maxBatch int, policy SchedPolicy, opts 
 		}
 		if fx != nil {
 			// No decode progress inside a stall window.
-			e.clock = fx.stallEnd(e.clock)
+			if st := fx.stallEnd(e.clock); st > e.clock {
+				if tra != nil {
+					for _, s := range active {
+						tra.Record(telemetry.Span{ID: s.req.ID, Kind: telemetry.KindStall,
+							Lane: s.slot, Start: e.clock, End: st})
+					}
+				}
+				e.clock = st
+			}
 		}
 		res := e.decodeChunk(ctxs, chunk)
 		energy := e.meter.Energy(res)
+		throttleF := 1.0
 		if fx != nil {
 			// Thermal throttle: the chunk's tokens take Factor times as
 			// long (energy is computed from the unstretched result — the
 			// same work, spread over more seconds at lower power).
-			res.Time *= fx.throttleAt(e.clock)
+			if f := fx.throttleAt(e.clock); f > 1 {
+				res.Time *= f
+				throttleF = f
+			}
 		}
+		decodeFrom := e.clock
 		e.clock += res.Time
 		out.Events++
 		out.TotalEnergy += energy
@@ -532,6 +592,22 @@ func (e *Engine) ServeSource(src Source, maxBatch int, policy SchedPolicy, opts 
 			s.remaining -= chunk
 			s.metrics.DecodeTime += res.Time
 			s.metrics.DecodeEnergy += perSeqEnergy
+		}
+		if tra != nil {
+			cause := ""
+			if throttleF > 1 {
+				cause = "throttle"
+			}
+			for _, s := range active {
+				tra.Record(telemetry.Span{ID: s.req.ID, Kind: telemetry.KindDecode,
+					Lane: s.slot, Start: decodeFrom, End: e.clock,
+					Tokens: chunk, Cause: cause, Factor: throttleF})
+			}
+			kvGauge.Sample(e.clock, float64(e.cache.UsedBlocks()))
+			actGauge.Sample(e.clock, float64(len(active)))
+			if res.Time > 0 {
+				powGauge.Sample(e.clock, energy/res.Time)
+			}
 		}
 		var err error
 		if active, err = reap(active, finish); err != nil {

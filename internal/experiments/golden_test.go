@@ -27,7 +27,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 //
 //	go test ./internal/experiments -run TestGoldenReports -update
 func TestGoldenReports(t *testing.T) {
-	for _, id := range []string{"sched", "fleet", "sessions", "tiering", "autoscale", "saturate", "drills"} {
+	for _, id := range []string{"sched", "fleet", "sessions", "tiering", "autoscale", "saturate", "drills", "breakdown"} {
 		t.Run(id, func(t *testing.T) {
 			tables, err := Run(id, Options{Seed: 7, Quick: true})
 			if err != nil {

@@ -231,6 +231,7 @@ func IDs() []string {
 		// work and design-choice ablations).
 		"saturation", "batchsweep", "powermodes", "specdec", "offload",
 		"fleet", "sessions", "tiering", "autoscale", "saturate", "drills",
+		"breakdown",
 	}
 	out := make([]string, 0, len(registry))
 	for _, id := range order {

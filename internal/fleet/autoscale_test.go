@@ -283,7 +283,7 @@ func TestStickySessionsPurgedOnRetirement(t *testing.T) {
 	}
 	var out Metrics
 	var delays map[string]float64
-	if err := dispatch(ro, as, nil, FIFO, engine.NewPeekable(engine.NewSliceSource(stream)), &delays, &out); err != nil {
+	if err := dispatch(ro, as, nil, nil, FIFO, engine.NewPeekable(engine.NewSliceSource(stream)), &delays, &out); err != nil {
 		t.Fatal(err)
 	}
 	if out.Dropped != 0 {

@@ -23,17 +23,23 @@ func BenchmarkAutoscaleServe(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Built once outside the timed loop: Config retains pointer fields
+	// (Trace, Autoscale), so a literal constructed per iteration escapes
+	// to the heap and the bench would charge that fixture allocation to
+	// the serving path. The autoscaler copies the config up front and
+	// never mutates it, so sharing one across iterations is safe.
+	autoscale := &AutoscaleConfig{
+		Min: 1, Max: 4,
+		Spec:            smallSpec(),
+		ColdStart:       2,
+		DepthPerReplica: 2,
+		IdleRetire:      10,
+		Cooldown:        0.5,
+	}
 	mk := func() Config {
 		cfg := homogeneousFleet(1, DeadlineAware)
 		cfg.Admission = Shed
-		cfg.Autoscale = &AutoscaleConfig{
-			Min: 1, Max: 4,
-			Spec:            smallSpec(),
-			ColdStart:       2,
-			DepthPerReplica: 2,
-			IdleRetire:      10,
-			Cooldown:        0.5,
-		}
+		cfg.Autoscale = autoscale
 		return cfg
 	}
 	var sink Metrics

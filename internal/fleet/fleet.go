@@ -30,6 +30,7 @@ import (
 	"edgereasoning/internal/hw"
 	"edgereasoning/internal/model"
 	"edgereasoning/internal/stats"
+	"edgereasoning/internal/telemetry"
 )
 
 // ReplicaConfig describes one engine in the fleet.
@@ -118,6 +119,11 @@ type Config struct {
 	// consecutive-failure circuit breakers with half-open probes, and
 	// stall-window avoidance. Nil routes blind.
 	Health *HealthConfig
+	// Trace, when non-nil, records the run's telemetry into it: one span
+	// track per replica (request phases from the engines), shared ingress
+	// and faults tracks from the dispatch loop, and sampled fleet series.
+	// Nil is the default and keeps the run byte-identical to untraced.
+	Trace *telemetry.Trace
 }
 
 // cacheOptions carries the fleet-level engine cache knobs to replica
@@ -128,6 +134,9 @@ type cacheOptions struct {
 	deviceBlocks      int
 	hostTierBlocks    int
 	hostLinkBandwidth float64
+	// trace rides along so autoscaler provisions register their tracks
+	// the same way the initial pool does.
+	trace *telemetry.Trace
 }
 
 func (cfg Config) cacheOpts() cacheOptions {
@@ -136,6 +145,7 @@ func (cfg Config) cacheOpts() cacheOptions {
 		deviceBlocks:      cfg.DeviceBlocks,
 		hostTierBlocks:    cfg.HostTierBlocks,
 		hostLinkBandwidth: cfg.HostLinkBandwidth,
+		trace:             cfg.Trace,
 	}
 }
 
@@ -151,6 +161,8 @@ type ReplicaMetrics struct {
 	// decode double-counts overlap, so compare it across replicas, not
 	// against wall time.
 	BusyTime float64
+	// Crashes counts crash events that struck this replica.
+	Crashes int
 	// ProvisionedAt is when the replica joined the pool (0 for the
 	// initial set); RetiredAt is when the autoscaler drained it out
 	// (0 when it stayed in the pool to the end).
@@ -291,6 +303,9 @@ type replica struct {
 	trackEst    bool
 	wipes       map[string]bool
 	pendingWipe bool
+	// crashes counts crash events that struck this replica (folded into
+	// ReplicaMetrics.Crashes).
+	crashes int
 }
 
 // newReplica builds the serving engine for one replica config and
@@ -299,11 +314,15 @@ type replica struct {
 // untouched — and returns exactly what the historical one-request probe
 // run on a scratch engine measured, without constructing one.
 func newReplica(rc ReplicaConfig, opts cacheOptions) (*replica, error) {
-	eng, err := engine.New(engine.Config{
+	engCfg := engine.Config{
 		Spec: rc.Spec, Device: rc.Device, PrefixCache: opts.prefixCache,
 		DeviceBlocks: opts.deviceBlocks, HostTierBlocks: opts.hostTierBlocks,
 		HostLinkBandwidth: opts.hostLinkBandwidth,
-	})
+	}
+	if opts.trace != nil {
+		engCfg.Trace = opts.trace.Track(rc.Name)
+	}
+	eng, err := engine.New(engCfg)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: replica %s: %w", rc.Name, err)
 	}
@@ -501,6 +520,10 @@ func ServeSource(cfg Config, src engine.Source) (Metrics, error) {
 		return Metrics{}, fmt.Errorf("fleet: no replicas configured")
 	}
 	opts := cfg.cacheOpts()
+	// The fleet tracer registers the shared ingress and faults tracks
+	// before the replica constructors register theirs, fixing the export
+	// layout; nil when tracing is off.
+	ft := newFleetTracer(cfg.Trace)
 	replicas := make([]*replica, len(cfg.Replicas))
 	for i, rc := range cfg.Replicas {
 		r, err := newReplica(rc.withDefaults(i), opts)
@@ -531,9 +554,12 @@ func ServeSource(cfg Config, src engine.Source) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
+	if ft != nil {
+		ft.faultWindows(replicas)
+	}
 	var cx *chaos
 	if len(crashes) > 0 {
-		cx = &chaos{ro: router, healthOn: cfg.Health != nil, events: crashes, delays: &delays, out: &out}
+		cx = &chaos{ro: router, healthOn: cfg.Health != nil, events: crashes, delays: &delays, out: &out, ft: ft}
 		if cfg.Retry != nil {
 			if err := cfg.Retry.validate(); err != nil {
 				return Metrics{}, err
@@ -551,7 +577,7 @@ func ServeSource(cfg Config, src engine.Source) (Metrics, error) {
 			r.hs = &healthState{cfg: h}
 		}
 	}
-	if err := dispatch(router, as, cx, cfg.Admission, stream, &delays, &out); err != nil {
+	if err := dispatch(router, as, cx, ft, cfg.Admission, stream, &delays, &out); err != nil {
 		return out, err
 	}
 	replicas = router.replicas // the autoscaler may have grown the pool
@@ -612,6 +638,7 @@ func ServeSource(cfg Config, src engine.Source) (Metrics, error) {
 			Model:         string(r.cfg.Spec.ID),
 			Assigned:      len(r.assigned),
 			ServeMetrics:  sm,
+			Crashes:       r.crashes,
 			ProvisionedAt: r.provisionedAt,
 			RetiredAt:     r.retiredAt,
 		}
@@ -647,6 +674,9 @@ func ServeSource(cfg Config, src engine.Source) (Metrics, error) {
 	if as != nil {
 		foldAutoscale(&out, router, as)
 	}
+	if ft != nil {
+		ft.finalize(&out, len(cfg.Replicas))
+	}
 	return out, nil
 }
 
@@ -656,7 +686,7 @@ func ServeSource(cfg Config, src engine.Source) (Metrics, error) {
 // the admission discipline picks which waiting request goes next. The
 // dispatch clock is monotone — a request is never dispatched before an
 // earlier decision's time.
-func dispatch(ro *router, as *autoscaler, cx *chaos, admission Admission, stream *engine.Peekable, delays *map[string]float64, out *Metrics) error {
+func dispatch(ro *router, as *autoscaler, cx *chaos, ft *fleetTracer, admission Admission, stream *engine.Peekable, delays *map[string]float64, out *Metrics) error {
 	q := &ingress{discipline: admission}
 	drop := func(tr engine.TimedRequest) {
 		out.Dropped++
@@ -731,6 +761,9 @@ func dispatch(ro *router, as *autoscaler, cx *chaos, admission Admission, stream
 			cx.processUpTo(now)
 		}
 		admitUntil(now)
+		if ft != nil {
+			ft.sampleQueue(now, q.len())
+		}
 		if as != nil {
 			if err := as.observe(ro, q, now); err != nil {
 				return err
@@ -823,6 +856,10 @@ func dispatch(ro *router, as *autoscaler, cx *chaos, admission Admission, stream
 			(*delays)[tr.ID] = t - tr.Arrival
 		}
 		r.take(adjusted, t)
+		if ft != nil {
+			ft.dispatched(tr, t)
+			ft.sampleQueue(t, q.len())
+		}
 		now = t
 	}
 	return nil

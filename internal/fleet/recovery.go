@@ -365,6 +365,7 @@ type chaos struct {
 	attempts map[string]int
 	delays   *map[string]float64
 	out      *Metrics
+	ft       *fleetTracer // nil when tracing is off
 }
 
 func (cx *chaos) crashPending() bool { return cx.next < len(cx.events) }
@@ -457,6 +458,10 @@ func (cx *chaos) crash(ev chaosEvent) {
 		r.hs.settle(ev.at)
 	}
 	cx.out.Crashes++
+	r.crashes++
+	if cx.ft != nil {
+		cx.ft.crashed(r.cfg.Name, ev.at)
+	}
 	cut := len(r.assigned)
 	for cut > 0 && r.estFinish[cut-1] > ev.at {
 		cut--
@@ -464,10 +469,15 @@ func (cx *chaos) crash(ev chaosEvent) {
 	for i := cut; i < len(r.assigned); i++ {
 		tr := r.assigned[i]
 		svc := r.estService(tr)
+		lost := 0.0
 		if start := r.estFinish[i] - svc; start < ev.at {
-			cx.out.LostWorkSeconds += math.Min(ev.at-start, svc)
+			lost = math.Min(ev.at-start, svc)
+			cx.out.LostWorkSeconds += lost
 		}
 		cx.out.Aborted++
+		if cx.ft != nil {
+			cx.ft.aborted(tr, ev.at, lost, r.cfg.Name, cx.attempts[tr.ID])
+		}
 		orig := tr
 		if *cx.delays != nil {
 			if d, ok := (*cx.delays)[tr.ID]; ok {
@@ -501,6 +511,9 @@ func (cx *chaos) crash(ev chaosEvent) {
 		}
 		if r.hs.strike(backUp) {
 			cx.out.BreakerOpens++
+			if cx.ft != nil {
+				cx.ft.breaker.Add(ev.at, 1)
+			}
 		}
 	}
 	cx.ro.purge(ev.replica)
@@ -542,5 +555,8 @@ func (cx *chaos) requeue(tr engine.TimedRequest, at float64) {
 		return
 	}
 	cx.out.Retried++
+	if cx.ft != nil {
+		cx.ft.retryScheduled(tr, at, re, n)
+	}
 	cx.pushRetry(retryItem{at: re, tr: tr})
 }

@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"edgereasoning/internal/engine"
+	"edgereasoning/internal/faults"
+	"edgereasoning/internal/model"
+	"edgereasoning/internal/telemetry"
+	"edgereasoning/internal/workload"
+)
+
+// TestTracingTransparencyProperties is the zero-overhead-when-off
+// property gate, run under -race in CI: across eight seeds of a faulted
+// fleet with the full recovery machinery (and autoscaling on half of
+// them), the traced run's Metrics must be deep-equal to the untraced
+// run of the same stream and schedule, the recorded spans must nest
+// cleanly on every track lane, and the span ledger must match the
+// fleet's own accounting — one request span per served request, one
+// abort span per destroyed dispatch, one retry-wait span per scheduled
+// retry. The concurrent replica drain records into the trace from one
+// goroutine per track, so the -race run also proves the single-writer
+// discipline holds.
+func TestTracingTransparencyProperties(t *testing.T) {
+	spec := model.MustLookup(model.Qwen25_1_5Bit)
+	devices := DefaultDevices()
+	for seed := uint64(1); seed <= 8; seed++ {
+		const replicas = 3
+		const qps = 2.5
+		profile := workload.InteractiveAssistant(qps, 120)
+		profile.DeadlineSlack = 3
+		profile.DeadlineSlackMax = 9
+		reqs, err := workload.Generate(profile, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		horizon := 120 / qps
+		sched, err := faults.Generate(faults.GenConfig{
+			Replicas: replicas, Horizon: horizon,
+			CrashRate: 1.5, RestartDelay: 5,
+			StallRate: 1, StallDuration: 2,
+			ThrottleRate: 1, ThrottleDuration: horizon / 8, ThrottleFactor: 2,
+		}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgFor := func(trace *telemetry.Trace) Config {
+			cfg := Config{
+				Replicas: HeterogeneousReplicas(replicas, devices, spec),
+				Policy:   DeadlineAware,
+				Faults:   &sched,
+				Retry:    &RetryPolicy{Hedge: true},
+				Health:   &HealthConfig{FailureThreshold: 2, ProbeAfter: 1},
+				Trace:    trace,
+			}
+			if seed%2 == 0 {
+				cfg.Autoscale = &AutoscaleConfig{
+					Min: 1, Max: replicas + 2,
+					Spec: spec, Devices: devices,
+					ColdStart: 2, DepthPerReplica: 2, Cooldown: 0.5,
+				}
+			}
+			return cfg
+		}
+
+		plain, err := ServeSource(cfgFor(nil), engine.NewSliceSource(reqs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := telemetry.New(telemetry.Config{SpanCap: 1 << 14})
+		traced, err := ServeSource(cfgFor(trace), engine.NewSliceSource(reqs))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !reflect.DeepEqual(plain, traced) {
+			t.Errorf("seed %d: tracing perturbed fleet Metrics:\n plain %+v\ntraced %+v", seed, plain, traced)
+		}
+		if err := telemetry.ValidateSpans(trace); err != nil {
+			t.Errorf("seed %d: recorded spans malformed: %v", seed, err)
+		}
+		requestSpans, abortSpans, retrySpans := 0, 0, 0
+		for _, tr := range trace.Tracks() {
+			if tr.Dropped() > 0 {
+				t.Errorf("seed %d: track %s dropped %d spans under SpanCap", seed, tr.Name(), tr.Dropped())
+			}
+			for _, s := range tr.Spans() {
+				switch s.Kind {
+				case telemetry.KindRequest:
+					requestSpans++
+				case telemetry.KindAborted:
+					abortSpans++
+				case telemetry.KindRetryWait:
+					retrySpans++
+				}
+			}
+		}
+		if requestSpans != traced.Served {
+			t.Errorf("seed %d: %d request spans, served %d", seed, requestSpans, traced.Served)
+		}
+		if abortSpans != traced.Aborted {
+			t.Errorf("seed %d: %d abort spans, aborted %d", seed, abortSpans, traced.Aborted)
+		}
+		if retrySpans != traced.Retried {
+			t.Errorf("seed %d: %d retry-wait spans, retried %d", seed, retrySpans, traced.Retried)
+		}
+	}
+}
+
+// TestPerReplicaBreakdown pins the Metrics.PerReplica satellite: rows
+// come back in replica order and fold served counts, busy seconds, and
+// crash strikes consistent with the per-replica metrics they summarize.
+func TestPerReplicaBreakdown(t *testing.T) {
+	spec := model.MustLookup(model.Qwen25_1_5Bit)
+	profile := workload.InteractiveAssistant(2, 60)
+	reqs, err := workload.Generate(profile, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := faults.Generate(faults.GenConfig{
+		Replicas: 2, Horizon: 30, CrashRate: 1, RestartDelay: 4,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ServeSource(Config{
+		Replicas: HeterogeneousReplicas(2, DefaultDevices(), spec),
+		Faults:   &sched,
+		Retry:    &RetryPolicy{},
+	}, engine.NewSliceSource(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := m.PerReplica()
+	if len(rows) != len(m.Replicas) {
+		t.Fatalf("%d rows for %d replicas", len(rows), len(m.Replicas))
+	}
+	served, crashes := 0, 0
+	for i, rb := range rows {
+		rm := m.Replicas[i]
+		if rb.Name != rm.Name || rb.Served != rm.Served || rb.Crashes != rm.Crashes {
+			t.Errorf("row %d = %+v diverges from ReplicaMetrics %s served=%d crashes=%d",
+				i, rb, rm.Name, rm.Served, rm.Crashes)
+		}
+		if rb.BusySeconds < 0 {
+			t.Errorf("row %d: negative busy seconds %v", i, rb.BusySeconds)
+		}
+		served += rb.Served
+		crashes += rb.Crashes
+	}
+	if served != m.Served || crashes != m.Crashes {
+		t.Errorf("rows fold to served=%d crashes=%d, metrics say %d/%d", served, crashes, m.Served, m.Crashes)
+	}
+}

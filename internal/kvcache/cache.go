@@ -464,6 +464,11 @@ func (c *Cache) indexRef(b, delta int) {
 // PeakUsed returns the allocation high-water mark in O(1).
 func (c *Cache) PeakUsed() int { return c.peakUsed }
 
+// UsedBlocks returns current occupancy in O(1) — the telemetry layer
+// samples it as a gauge on every serve event, so it must not pay
+// Stats()'s struct assembly.
+func (c *Cache) UsedBlocks() int { return c.cfg.NumBlocks - c.FreeBlocks() }
+
 // Stats returns current occupancy. SharedBlocks reads the incrementally
 // maintained counter, so the call is O(1); sharedScan is the O(n) audit
 // kept as a test-only cross-check (CheckInvariants compares the two).

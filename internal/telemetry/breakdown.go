@@ -1,0 +1,121 @@
+package telemetry
+
+import "sort"
+
+// RequestPhases is one served request's end-to-end latency decomposed
+// from its trace spans. The phases tile [Arrival, Finish] exactly:
+//
+//	Ingress + RetryWait + AbortedWall + ReplicaWait
+//	  + Stall + Restore + Prefill + Decode + Gap  ==  Finish − Arrival
+//
+// (up to float re-summation; Residual reports the difference). Gap is
+// the time inside the serving window not attributable to the request's
+// own phases — batchmate prefills and admission work interleaved by
+// continuous batching.
+type RequestPhases struct {
+	ID       string
+	Track    string  // replica that served the final attempt
+	Arrival  float64 // original arrival (first queue span start)
+	Finish   float64 // final attempt completion
+	Attempts int     // crash-aborted attempts before the served one
+	// Phase sums in simulated seconds.
+	Ingress     float64 // shared-ingress queue wait, all attempts
+	RetryWait   float64 // crash-to-re-admission backoff windows
+	AbortedWall float64 // dispatch-to-crash wall time of destroyed attempts
+	LostWork    float64 // estimated executed-and-thrown-away service seconds
+	ReplicaWait float64 // engine-local ready-queue wait before admission
+	Stall       float64
+	Restore     float64
+	Prefill     float64
+	Decode      float64
+	Gap         float64
+	CachedTok   int // prompt tokens served from the prefix cache
+}
+
+// E2E is the request's end-to-end latency.
+func (r RequestPhases) E2E() float64 { return r.Finish - r.Arrival }
+
+// Residual is E2E minus the phase sum — float rounding noise when the
+// trace is consistent, something structural when it is not.
+func (r RequestPhases) Residual() float64 {
+	return r.E2E() - (r.Ingress + r.RetryWait + r.AbortedWall + r.ReplicaWait +
+		r.Stall + r.Restore + r.Prefill + r.Decode + r.Gap)
+}
+
+// Breakdown folds the trace's spans into per-request phase
+// decompositions for every request that completed (has a KindRequest
+// span), sorted by (arrival, ID). Requests that were dropped — never
+// served — are not included.
+func (t *Trace) Breakdown() []RequestPhases {
+	byID := map[string]*RequestPhases{}
+	get := func(id string) *RequestPhases {
+		rp, ok := byID[id]
+		if !ok {
+			rp = &RequestPhases{ID: id, Arrival: -1}
+			byID[id] = rp
+		}
+		return rp
+	}
+	served := map[string]bool{}
+	for _, tr := range t.Tracks() {
+		for _, s := range tr.Spans() {
+			if s.ID == "" {
+				continue
+			}
+			rp := get(s.ID)
+			switch s.Kind {
+			case KindQueue:
+				rp.Ingress += s.Dur()
+				if s.Attempt == 0 {
+					rp.Arrival = s.Start
+				}
+			case KindRetryWait:
+				rp.RetryWait += s.Dur()
+			case KindAborted:
+				rp.AbortedWall += s.Dur()
+				rp.LostWork += s.Lost
+				rp.Attempts++
+			case KindRequest:
+				served[s.ID] = true
+				rp.Track = tr.Name()
+				rp.Finish = s.End
+				rp.ReplicaWait = s.Wait
+				rp.CachedTok = s.Cached
+				// Gap starts as the full serving window; the request's own
+				// phase children below subtract themselves out.
+				rp.Gap += s.Dur()
+			case KindStall:
+				rp.Stall += s.Dur()
+				rp.Gap -= s.Dur()
+			case KindRestore:
+				rp.Restore += s.Dur()
+				rp.Gap -= s.Dur()
+			case KindPrefill:
+				rp.Prefill += s.Dur()
+				rp.Gap -= s.Dur()
+			case KindDecode:
+				rp.Decode += s.Dur()
+				rp.Gap -= s.Dur()
+			}
+		}
+	}
+	out := make([]RequestPhases, 0, len(served))
+	for id, rp := range byID {
+		if !served[id] {
+			continue
+		}
+		if rp.Arrival < 0 {
+			// No ingress span (engine-only trace): the serving window is
+			// the whole story; arrival backs out of the replica wait.
+			rp.Arrival = rp.Finish - (rp.Gap + rp.Stall + rp.Restore + rp.Prefill + rp.Decode) - rp.ReplicaWait
+		}
+		out = append(out, *rp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Arrival != out[j].Arrival {
+			return out[i].Arrival < out[j].Arrival
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// promPrefix namespaces every exported metric.
+const promPrefix = "edgereasoning_"
+
+// WritePrometheus exports the trace's series and histograms as a
+// Prometheus text-format (version 0.0.4) snapshot: each series' final
+// sample becomes one gauge or counter line labeled by its track, and
+// each histogram name is merged across its per-track instances into one
+// fleet-wide histogram with cumulative le buckets. Families are sorted
+// by name, samples by label, so the snapshot is byte-deterministic.
+func (t *Trace) WritePrometheus(w io.Writer) error {
+	series := t.Series()
+	for i := 0; i < len(series); {
+		j := i
+		for j < len(series) && series[j].Name == series[i].Name {
+			j++
+		}
+		name := promPrefix + series[i].Name
+		if series[i].Kind == Counter {
+			name += "_total"
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s sampled on the simulated clock\n# TYPE %s %s\n",
+			name, series[i].Name, name, series[i].Kind); err != nil {
+			return err
+		}
+		for _, s := range series[i:j] {
+			last, ok := s.Last()
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", name, promLabel(s.Label), promFloat(last.V)); err != nil {
+				return err
+			}
+		}
+		i = j
+	}
+	for _, mh := range t.Histograms() {
+		name := promPrefix + mh.Name
+		if _, err := fmt.Fprintf(w, "# HELP %s %s merged across %d track(s)\n# TYPE %s histogram\n",
+			name, mh.Name, len(mh.Labels), name); err != nil {
+			return err
+		}
+		h := mh.Hist
+		bounds := h.Bounds()
+		for i := range bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bounds[i]), h.Cumulative(i)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			name, h.Count(), name, promFloat(h.Sum()), name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func promLabel(label string) string {
+	if label == "" {
+		return ""
+	}
+	return fmt.Sprintf("{replica=%q}", label)
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// nestEps tolerates float re-rounding at span boundaries (microseconds;
+// 1e-6 µs = one picosecond of simulated time).
+const nestEps = 1e-6
+
+// ValidateChromeTrace checks an exported Chrome trace-event JSON
+// document: well-formed JSON with the traceEvents wrapper, only known
+// phase types, non-negative timestamps and durations, globally
+// non-decreasing timestamps (metadata aside), a process_name metadata
+// record for every pid a content event references, no flow-finish ("f")
+// without a same-id flow-start ("s") at or before it, and — on every
+// (pid, tid) lane — complete spans that are properly nested: each span
+// either encloses the next or is disjoint from it. A flow-start without
+// a finish is legal (a crash abort whose request was never retried).
+// cmd/tracecheck and the CI trace-validation step run exactly this.
+func ValidateChromeTrace(data []byte) error {
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("telemetry: trace JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("telemetry: trace has no events")
+	}
+	known := map[string]bool{"M": true, "X": true, "i": true, "C": true, "s": true, "f": true, "t": true}
+	named := map[int]bool{}
+	flowStart := map[string]float64{} // flow id -> start timestamp
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			named[ev.Pid] = true
+		}
+		if ev.Ph == "s" {
+			flowStart[ev.ID] = ev.Ts
+		}
+	}
+	lastTs := map[[2]int][]float64{} // (pid,tid) -> stack of open span ends
+	prevTs := 0.0
+	seenTs := false
+	for i, ev := range doc.TraceEvents {
+		if !known[ev.Ph] {
+			return fmt.Errorf("telemetry: event %d has unknown phase %q", i, ev.Ph)
+		}
+		if ev.Ph == "M" {
+			continue
+		}
+		if ev.Name == "" {
+			return fmt.Errorf("telemetry: event %d has no name", i)
+		}
+		if !named[ev.Pid] {
+			return fmt.Errorf("telemetry: event %d (%s %q) references pid %d with no process_name metadata",
+				i, ev.Ph, ev.Name, ev.Pid)
+		}
+		if ev.Ts < 0 {
+			return fmt.Errorf("telemetry: event %d (%s %q) has negative timestamp %.3f", i, ev.Ph, ev.Name, ev.Ts)
+		}
+		if seenTs && ev.Ts < prevTs-nestEps {
+			return fmt.Errorf("telemetry: event %d (%s %q) timestamp %.3f precedes %.3f — not monotone",
+				i, ev.Ph, ev.Name, ev.Ts, prevTs)
+		}
+		prevTs, seenTs = ev.Ts, true
+		if ev.Ph == "f" {
+			st, ok := flowStart[ev.ID]
+			if !ok {
+				return fmt.Errorf("telemetry: event %d is a flow finish for id %q with no flow start", i, ev.ID)
+			}
+			if ev.Ts < st-nestEps {
+				return fmt.Errorf("telemetry: flow %q finishes at %.3f before its start %.3f", ev.ID, ev.Ts, st)
+			}
+		}
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Dur < 0 {
+			return fmt.Errorf("telemetry: event %d (%q) has negative duration %.3f", i, ev.Name, ev.Dur)
+		}
+		key := [2]int{ev.Pid, ev.Tid}
+		stack := lastTs[key]
+		for len(stack) > 0 && stack[len(stack)-1] <= ev.Ts+nestEps {
+			stack = stack[:len(stack)-1]
+		}
+		end := ev.Ts + ev.Dur
+		if len(stack) > 0 && end > stack[len(stack)-1]+nestEps {
+			return fmt.Errorf("telemetry: event %d (%q) [%.3f, %.3f] overlaps but does not nest within its enclosing span ending %.3f on pid %d tid %d",
+				i, ev.Name, ev.Ts, end, stack[len(stack)-1], ev.Pid, ev.Tid)
+		}
+		lastTs[key] = append(stack, end)
+	}
+	return nil
+}
+
+// ValidateSpans checks the recorded spans directly (before export): on
+// every track lane, spans sorted by start must be properly nested —
+// each one either lies fully inside the previously open span or starts
+// at or after its end — and no span may end before it starts. The
+// breakdown driver's verify table and the tracing property tests call
+// this.
+func ValidateSpans(t *Trace) error {
+	for _, tr := range t.Tracks() {
+		lanes := map[int][]Span{}
+		for _, s := range tr.Spans() {
+			if s.End < s.Start {
+				return fmt.Errorf("telemetry: track %s span %s/%s ends %.6f before start %.6f",
+					tr.Name(), s.Kind, s.ID, s.End, s.Start)
+			}
+			lanes[s.Lane] = append(lanes[s.Lane], s)
+		}
+		laneIDs := make([]int, 0, len(lanes))
+		for l := range lanes {
+			laneIDs = append(laneIDs, l)
+		}
+		sort.Ints(laneIDs)
+		for _, l := range laneIDs {
+			spans := lanes[l]
+			sort.SliceStable(spans, func(i, j int) bool {
+				if spans[i].Start != spans[j].Start {
+					return spans[i].Start < spans[j].Start
+				}
+				return spans[i].Dur() > spans[j].Dur()
+			})
+			var open []Span // stack of enclosing spans
+			for _, s := range spans {
+				for len(open) > 0 && open[len(open)-1].End <= s.Start+nestEps/secToUS {
+					open = open[:len(open)-1]
+				}
+				if len(open) > 0 && s.End > open[len(open)-1].End+nestEps/secToUS {
+					top := open[len(open)-1]
+					return fmt.Errorf("telemetry: track %s lane %d: %s/%s [%.6f, %.6f] overlaps sibling/parent %s/%s ending %.6f",
+						tr.Name(), l, s.Kind, s.ID, s.Start, s.End, top.Kind, top.ID, top.End)
+				}
+				open = append(open, s)
+			}
+		}
+	}
+	return nil
+}
+
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9+.eEInf]+$`)
+
+// ValidatePrometheus checks a text-format snapshot line by line: every
+// non-comment, non-blank line must be a metric sample with a legal name
+// and a parseable value.
+func ValidatePrometheus(data []byte) error {
+	for i, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			return fmt.Errorf("telemetry: metrics line %d is not a valid sample: %q", i+1, line)
+		}
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return fmt.Errorf("telemetry: metrics line %d has unparseable value %q", i+1, val)
+		}
+	}
+	return nil
+}

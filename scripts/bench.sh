@@ -16,7 +16,10 @@
 # elastic-fleet serving path (fleet.Serve with autoscaling and shed
 # admission), the chaos serving path (fleet.Serve under a generated
 # fault schedule with retry re-admission, circuit breakers, and
-# health-aware routing), and
+# health-aware routing), the traced serving pair (the hot loop with the
+# telemetry hooks compiled in: TracedServeOff gates the zero-overhead-
+# when-off contract — its allocs/op must equal ServeHotLoop's — while
+# TracedServeOn records the live-tracing cost for information), and
 # the million-request streamed soak (engine.ServeSource over a lazy
 # workload source; sim-events/s and live heap ride along as custom
 # metrics). Only allocs/op is gated — it is deterministic across machines — while ns/op
@@ -32,7 +35,7 @@ BENCHTIME="${BENCHTIME:-2s}"
 MODE="${1:-check}"
 
 run_benches() {
-  go test -run '^$' -bench 'BenchmarkServeHotLoop$|BenchmarkRunHotLoop$|BenchmarkSessionServe$|BenchmarkTieredServe$' \
+  go test -run '^$' -bench 'BenchmarkServeHotLoop$|BenchmarkRunHotLoop$|BenchmarkSessionServe$|BenchmarkTieredServe$|BenchmarkTracedServeOff$|BenchmarkTracedServeOn$' \
     -benchmem -benchtime "$BENCHTIME" -count 1 ./internal/engine
   # The soak streams 1e6 requests per op (~2s); one iteration is enough
   # signal and keeps the suite fast at any -benchtime.
