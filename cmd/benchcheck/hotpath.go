@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"edgereasoning/internal/lint"
+)
+
+// hotpathWarnings cross-references the tree's //edgereasoning:hotpath
+// annotations against the gated benchmark targets: an annotated
+// function whose bench= argument names a target absent from
+// BENCH_serve.json — or that carries no bench= at all — has a static
+// allocation contract with no measurement behind it. Warnings only:
+// the static analyzer (cmd/simlint) still enforces the construct-level
+// contract, so a missing gate degrades coverage rather than breaking
+// the build.
+func hotpathWarnings(root string, targets map[string]Measurement) ([]string, error) {
+	sites, err := lint.ScanHotPaths(root)
+	if err != nil {
+		return nil, err
+	}
+	var warns []string
+	for _, s := range sites {
+		switch {
+		case s.Bench == "":
+			warns = append(warns, fmt.Sprintf(
+				"WARN hotpath %s (%s): no bench= argument; annotate with the gating benchmark target", s.Func, s.Pos))
+		default:
+			if _, ok := targets[s.Bench]; !ok {
+				warns = append(warns, fmt.Sprintf(
+					"WARN hotpath %s (%s): benchmark %s is not a gated target in the baseline", s.Func, s.Pos, s.Bench))
+			}
+		}
+	}
+	sort.Strings(warns)
+	return warns, nil
+}
+
+// reportHotpaths prints the warnings, returning how many there were.
+func reportHotpaths(root string, targets map[string]Measurement, w io.Writer) (int, error) {
+	warns, err := hotpathWarnings(root, targets)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range warns {
+		fmt.Fprintln(w, line)
+	}
+	return len(warns), nil
+}

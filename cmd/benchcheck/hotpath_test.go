@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a throwaway source tree with hotpath annotations
+// in the three states the warning logic distinguishes: gated, naming a
+// missing benchmark, and missing the bench= argument entirely.
+func writeTree(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"a.go": `package a
+
+//edgereasoning:hotpath bench=BenchmarkGated
+func gated() {}
+
+//edgereasoning:hotpath bench=BenchmarkMissing
+func ungated() {}
+
+//edgereasoning:hotpath
+func unnamed() {}
+
+func cold() {}
+`,
+		"a_test.go": `package a
+
+//edgereasoning:hotpath bench=BenchmarkTestOnly
+func testOnly() {}
+`,
+		"testdata/skip.go": `package skip
+
+//edgereasoning:hotpath bench=BenchmarkSkipped
+func skipped() {}
+`,
+	}
+	for name, src := range files {
+		p := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestHotpathWarnings(t *testing.T) {
+	root := writeTree(t)
+	targets := map[string]Measurement{"BenchmarkGated": {AllocsPerOp: 3}}
+	warns, err := hotpathWarnings(root, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 2 {
+		t.Fatalf("got %d warnings, want 2: %v", len(warns), warns)
+	}
+	joined := strings.Join(warns, "\n")
+	if !strings.Contains(joined, "ungated") || !strings.Contains(joined, "BenchmarkMissing") {
+		t.Errorf("missing-target warning absent: %v", warns)
+	}
+	if !strings.Contains(joined, "unnamed") || !strings.Contains(joined, "no bench= argument") {
+		t.Errorf("no-bench-argument warning absent: %v", warns)
+	}
+	// Test files and testdata stay out of scope.
+	if strings.Contains(joined, "testOnly") || strings.Contains(joined, "skipped") {
+		t.Errorf("exempt files leaked into warnings: %v", warns)
+	}
+}
+
+func TestHotpathWarningsAllGated(t *testing.T) {
+	root := t.TempDir()
+	src := `package a
+
+//edgereasoning:hotpath bench=BenchmarkGated
+func gated() {}
+`
+	if err := os.WriteFile(filepath.Join(root, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warns, err := hotpathWarnings(root, map[string]Measurement{"BenchmarkGated": {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("fully gated tree must not warn: %v", warns)
+	}
+}
+
+// TestRepoHotpathsAllGated pins the in-tree invariant the CI bench gate
+// relies on: every hotpath annotation in this repository names a
+// benchmark that BENCH_serve.json actually gates.
+func TestRepoHotpathsAllGated(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_serve.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	warns, err := hotpathWarnings(filepath.Join("..", ".."), f.Current.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Errorf("hotpath annotations without a gated benchmark:\n%s", strings.Join(warns, "\n"))
+	}
+}

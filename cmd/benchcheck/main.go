@@ -175,7 +175,7 @@ func update(f *File, fresh map[string]Measurement, commit, date string) {
 	f.History = append(f.History, entry)
 }
 
-func run(baselinePath string, doUpdate bool, commit, date string, tolerance float64, slack int64, stdin io.Reader, stdout io.Writer) error {
+func run(baselinePath string, doUpdate bool, commit, date string, tolerance float64, slack int64, hotpaths string, stdin io.Reader, stdout io.Writer) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -201,7 +201,17 @@ func run(baselinePath string, doUpdate bool, commit, date string, tolerance floa
 		fmt.Fprintf(stdout, "benchcheck: wrote %d targets to %s\n", len(fresh), baselinePath)
 		return nil
 	}
-	return check(f.Current.Targets, fresh, tolerance, slack, stdout)
+	checkErr := check(f.Current.Targets, fresh, tolerance, slack, stdout)
+	if hotpaths != "" {
+		n, err := reportHotpaths(hotpaths, f.Current.Targets, stdout)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			fmt.Fprintf(stdout, "benchcheck: %d hotpath annotation(s) without a gated benchmark (warnings)\n", n)
+		}
+	}
+	return checkErr
 }
 
 func main() {
@@ -211,8 +221,9 @@ func main() {
 	date := flag.String("date", "", "with -update -commit: the measurement date (UTC, YYYY-MM-DD)")
 	tolerance := flag.Float64("tolerance", 0.25, "fractional allocs/op headroom before a regression fails")
 	slack := flag.Int64("slack", 8, "absolute allocs/op headroom added on top of the tolerance")
+	hotpaths := flag.String("hotpaths", "", "with check: also warn about //edgereasoning:hotpath annotations in this source tree whose bench= target is not gated in the baseline")
 	flag.Parse()
-	if err := run(*baseline, *doUpdate, *commit, *date, *tolerance, *slack, os.Stdin, os.Stdout); err != nil {
+	if err := run(*baseline, *doUpdate, *commit, *date, *tolerance, *slack, *hotpaths, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -128,7 +128,7 @@ func TestUpdatePreservesPrePR(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stdout strings.Builder
-	if err := run(path, true, "", "", 0.25, 8, strings.NewReader(sampleBench), &stdout); err != nil {
+	if err := run(path, true, "", "", 0.25, 8, "", strings.NewReader(sampleBench), &stdout); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)
@@ -146,7 +146,7 @@ func TestUpdatePreservesPrePR(t *testing.T) {
 		t.Errorf("current section not rewritten: %+v", got.Current)
 	}
 	// And the rewritten file must pass its own gate on the same input.
-	if err := run(path, false, "", "", 0.25, 8, strings.NewReader(sampleBench), &stdout); err != nil {
+	if err := run(path, false, "", "", 0.25, 8, "", strings.NewReader(sampleBench), &stdout); err != nil {
 		t.Errorf("self-check after update failed: %v", err)
 	}
 }
@@ -170,17 +170,17 @@ func TestUpdateAppendsAndDedupesHistory(t *testing.T) {
 		return f
 	}
 	// Update without a commit: current rewritten, no history point.
-	if err := run(path, true, "", "", 0.25, 8, strings.NewReader(sampleBench), &stdout); err != nil {
+	if err := run(path, true, "", "", 0.25, 8, "", strings.NewReader(sampleBench), &stdout); err != nil {
 		t.Fatal(err)
 	}
 	if got := read(); len(got.History) != 0 {
 		t.Fatalf("commitless update must not append history: %+v", got.History)
 	}
 	// Two PRs append two entries in order.
-	if err := run(path, true, "abc1234", "2026-07-26", 0.25, 8, strings.NewReader(sampleBench), &stdout); err != nil {
+	if err := run(path, true, "abc1234", "2026-07-26", 0.25, 8, "", strings.NewReader(sampleBench), &stdout); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, true, "def5678", "2026-08-02", 0.25, 8, strings.NewReader(sampleBench), &stdout); err != nil {
+	if err := run(path, true, "def5678", "2026-08-02", 0.25, 8, "", strings.NewReader(sampleBench), &stdout); err != nil {
 		t.Fatal(err)
 	}
 	got := read()
@@ -195,7 +195,7 @@ func TestUpdateAppendsAndDedupesHistory(t *testing.T) {
 	}
 	// Re-measuring the same commit replaces its entry instead of
 	// duplicating the trajectory point.
-	if err := run(path, true, "def5678", "2026-08-03", 0.25, 8, strings.NewReader(sampleBench), &stdout); err != nil {
+	if err := run(path, true, "def5678", "2026-08-03", 0.25, 8, "", strings.NewReader(sampleBench), &stdout); err != nil {
 		t.Fatal(err)
 	}
 	got = read()

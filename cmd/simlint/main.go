@@ -1,0 +1,123 @@
+// Command simlint runs the simulator's static-analysis suite (see
+// internal/lint) over the module: determinism (simclock, seededrand,
+// maporder), hot-path allocation discipline (hotpath), the
+// zero-overhead tracing contract (traceoff), and the reimplemented
+// shadow stock pass. CI runs it as the static-analysis job; locally:
+//
+//	go run ./cmd/simlint ./...
+//	go run ./cmd/simlint -analyzers simclock,maporder ./...
+//	go run ./cmd/simlint -list
+//
+// Exit status is 1 when any diagnostic is reported, 2 on usage or
+// load errors — the go/analysis multichecker convention.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"edgereasoning/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list  = fs.Bool("list", false, "list the analyzers and exit")
+		names = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		dir   = fs.String("C", ".", "module root to analyze (directory containing go.mod)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *names != "" {
+		var subset []*lint.Analyzer
+		for _, n := range strings.Split(*names, ",") {
+			n = strings.TrimSpace(n)
+			a, ok := lint.ByName(n)
+			if !ok {
+				fmt.Fprintf(stderr, "simlint: unknown analyzer %q (use -list)\n", n)
+				return 2
+			}
+			subset = append(subset, a)
+		}
+		analyzers = subset
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loadPatterns(loader, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.RunAnalyzers(loader.Fset(), pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "simlint: %d diagnostic(s) across %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// loadPatterns resolves "./..." (the whole module) or "./<dir>"
+// package arguments against the loader, deduplicating while keeping a
+// deterministic order.
+func loadPatterns(loader *lint.Loader, patterns []string) ([]*lint.Package, error) {
+	wantAll := false
+	var dirs []string
+	for _, p := range patterns {
+		if p == "./..." || p == "..." {
+			wantAll = true
+			continue
+		}
+		dirs = append(dirs, strings.TrimPrefix(strings.TrimSuffix(p, "/"), "./"))
+	}
+	if wantAll {
+		return loader.LoadAll()
+	}
+	seen := map[string]bool{}
+	var out []*lint.Package
+	sort.Strings(dirs)
+	for _, d := range dirs {
+		pkg, err := loader.LoadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[pkg.Path] {
+			seen[pkg.Path] = true
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTreeClean is the command-level acceptance gate: the repository's
+// own source must pass its own analyzers. CI runs the same thing as
+// `go run ./cmd/simlint ./...`.
+func TestTreeClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", filepath.Join("..", ".."), "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("simlint over the repository exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, stderr.String())
+	}
+	for _, name := range []string{"simclock", "seededrand", "maporder", "hotpath", "traceoff", "shadow"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing diagnosis: %s", stderr.String())
+	}
+}
+
+// TestDiagnosticsExitOne builds a throwaway module with one simclock
+// violation and checks the multichecker convention: findings on stdout,
+// a summary on stderr, exit status 1.
+func TestDiagnosticsExitOne(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module throwaway\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package main
+
+import "time"
+
+func main() {
+	_ = time.Now()
+}
+`
+	if err := os.WriteFile(filepath.Join(root, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", root, "-analyzers", "simclock", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("violating module exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "time.Now reads the host clock") {
+		t.Errorf("diagnostic missing from stdout:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "1 diagnostic(s)") {
+		t.Errorf("summary missing from stderr:\n%s", stderr.String())
+	}
+}
+
+// TestSubsetSkipsOtherAnalyzers pins -analyzers: the same violating
+// module is clean under an unrelated analyzer.
+func TestSubsetSkipsOtherAnalyzers(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module throwaway\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package main
+
+import "time"
+
+func main() {
+	_ = time.Now()
+}
+`
+	if err := os.WriteFile(filepath.Join(root, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", root, "-analyzers", "maporder", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("maporder-only run exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}

@@ -294,6 +294,8 @@ func (c Config) MemReserveFrac() float64 {
 
 // prefill runs a prompt through the simulator and charges framework
 // overhead.
+//
+//edgereasoning:hotpath bench=BenchmarkServeHotLoop
 func (e *Engine) prefill(tokens int) (gpusim.Result, error) {
 	res := e.sim.Prefill(e.cfg.Spec.Arch, e.cfg.Spec.DType, tokens, 1)
 	res.Time *= e.cfg.Framework.PrefillFactor
@@ -302,6 +304,8 @@ func (e *Engine) prefill(tokens int) (gpusim.Result, error) {
 
 // decodeChunk advances the active contexts n steps and charges framework
 // overhead.
+//
+//edgereasoning:hotpath bench=BenchmarkServeHotLoop
 func (e *Engine) decodeChunk(ctxs []int, n int) gpusim.Result {
 	res := e.sim.DecodeChunk(e.cfg.Spec.Arch, e.cfg.Spec.DType, ctxs, n)
 	res.Time = res.Time*e.cfg.Framework.StepFactor + float64(n)*e.cfg.Framework.PerStepHost
@@ -348,6 +352,8 @@ type activeSeq struct {
 // in descending index order, matching the historical deletion loop so
 // completion-ordered outputs are unchanged — then compacts the active
 // set in one order-preserving, allocation-free pass.
+//
+//edgereasoning:hotpath bench=BenchmarkServeHotLoop
 func reap(active []*activeSeq, finish func(*activeSeq) error) ([]*activeSeq, error) {
 	done := 0
 	for i := len(active) - 1; i >= 0; i-- {

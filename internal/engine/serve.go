@@ -156,6 +156,8 @@ type ThrottleWindow struct {
 
 // stallEnd returns when work that would start at t can actually begin:
 // past every stall window containing it (windows may chain or overlap).
+//
+//edgereasoning:hotpath bench=BenchmarkServeHotLoop
 func (f *FaultInjection) stallEnd(t float64) float64 {
 	for changed := true; changed; {
 		changed = false
@@ -171,6 +173,8 @@ func (f *FaultInjection) stallEnd(t float64) float64 {
 
 // throttleAt returns the decode-time multiplier at t (1 outside all
 // windows; overlapping windows compound).
+//
+//edgereasoning:hotpath bench=BenchmarkServeHotLoop
 func (f *FaultInjection) throttleAt(t float64) float64 {
 	m := 1.0
 	for _, w := range f.Throttles {
@@ -194,6 +198,7 @@ type readyQueue struct {
 func (q *readyQueue) len() int            { return len(q.buf) - q.head }
 func (q *readyQueue) front() TimedRequest { return q.buf[q.head] }
 
+//edgereasoning:hotpath bench=BenchmarkServeHotLoop
 func (q *readyQueue) pushBack(tr TimedRequest) {
 	q.reserve()
 	q.buf = append(q.buf, tr)
@@ -201,12 +206,15 @@ func (q *readyQueue) pushBack(tr TimedRequest) {
 
 // reserve seeds the backing array at a 16-slot floor on first use so a
 // short backlog never pays the early append-growth doublings.
+//
+//edgereasoning:hotpath bench=BenchmarkServeHotLoop
 func (q *readyQueue) reserve() {
 	if q.buf == nil {
-		q.buf = make([]TimedRequest, 0, 16)
+		q.buf = make([]TimedRequest, 0, 16) //edgereasoning:allow hotpath -- one-time 16-slot floor, paid once per queue
 	}
 }
 
+//edgereasoning:hotpath bench=BenchmarkServeHotLoop
 func (q *readyQueue) popFront() {
 	q.buf[q.head] = TimedRequest{}
 	q.head++
@@ -221,6 +229,8 @@ func (q *readyQueue) popFront() {
 }
 
 // edfKey orders deadlines with 0 (none) last.
+//
+//edgereasoning:hotpath bench=BenchmarkServeHotLoop
 func edfKey(d float64) float64 {
 	if d == 0 {
 		return math.Inf(1)
@@ -231,6 +241,8 @@ func edfKey(d float64) float64 {
 // insertEDF places tr at its earliest-deadline-first position, after any
 // queued request with an equal key — element-for-element what a stable
 // sort of the whole queue produces, without re-sorting the sorted part.
+//
+//edgereasoning:hotpath bench=BenchmarkServeHotLoop
 func (q *readyQueue) insertEDF(tr TimedRequest) {
 	key := edfKey(tr.Deadline)
 	q.reserve()

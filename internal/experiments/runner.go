@@ -221,6 +221,8 @@ func runPool(ctx context.Context, jobs []job, cfg RunnerOptions) <-chan Result {
 // runJob executes one driver with panic recovery, the per-driver timeout,
 // and context cancellation. On timeout or cancellation the driver
 // goroutine is abandoned and its eventual result dropped.
+//
+//edgereasoning:wallclock -- host-side driver timeout and wall-time accounting; simulated time lives in the engine's event clock
 func runJob(ctx context.Context, j job, cfg RunnerOptions) Result {
 	res := Result{ID: j.id, Seed: j.opts.Seed}
 	d, ok := cfg.resolve(j.id)

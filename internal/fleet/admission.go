@@ -97,11 +97,12 @@ type ingress struct {
 	head       int // waiting[head:] is the live queue
 }
 
+//edgereasoning:hotpath bench=BenchmarkAutoscaleServe
 func (q *ingress) push(tr engine.TimedRequest) {
 	if q.waiting == nil {
 		// A 64-slot floor skips the early append-growth doublings; a
 		// congested ingress grows geometrically from there.
-		q.waiting = make([]engine.TimedRequest, 0, 64)
+		q.waiting = make([]engine.TimedRequest, 0, 64) //edgereasoning:allow hotpath -- one-time 64-slot floor, paid once per ingress
 	}
 	q.waiting = append(q.waiting, tr)
 }
@@ -111,6 +112,8 @@ func (q *ingress) len() int { return len(q.waiting) - q.head }
 // next. The live region is arrival-ordered, so head is the FIFO choice
 // and ties under the reordering disciplines break toward the earliest
 // arrival.
+//
+//edgereasoning:hotpath bench=BenchmarkAutoscaleServe
 func (q *ingress) pick() int {
 	switch q.discipline {
 	case EDF:
@@ -142,6 +145,8 @@ func (q *ingress) pick() int {
 // arrival order of the rest. Taking the head — the only case the
 // in-order disciplines hit — is O(1); mid-queue removal shifts the
 // tail.
+//
+//edgereasoning:hotpath bench=BenchmarkAutoscaleServe
 func (q *ingress) take(i int) engine.TimedRequest {
 	tr := q.waiting[i]
 	if i == q.head {

@@ -25,7 +25,10 @@ type retryMark struct {
 }
 
 // fleetTracer owns the dispatch-side telemetry for one run. It is nil
-// when tracing is off; every call site guards.
+// when tracing is off; every call site guards — a contract the traceoff
+// analyzer enforces via the directive below.
+//
+//edgereasoning:tracer
 type fleetTracer struct {
 	trace   *telemetry.Trace
 	ingress *telemetry.Track

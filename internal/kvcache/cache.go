@@ -318,6 +318,8 @@ type Handle struct {
 func (h Handle) ID() string { return h.id }
 
 // Lookup resolves a sequence ID to a Handle for the map-free fast path.
+//
+//edgereasoning:hotpath bench=BenchmarkKVAppend
 func (c *Cache) Lookup(seqID string) (Handle, error) {
 	s, ok := c.seqs[seqID]
 	if !ok {
@@ -328,6 +330,8 @@ func (c *Cache) Lookup(seqID string) (Handle, error) {
 
 // valid reports whether h is a live handle issued by this cache for the
 // current lifetime of its sequence shell.
+//
+//edgereasoning:hotpath bench=BenchmarkKVAppend
 func (c *Cache) valid(h Handle) bool {
 	return h.c == c && h.s != nil && !h.s.freed && h.s.gen == h.gen
 }
@@ -336,12 +340,14 @@ func (c *Cache) valid(h Handle) bool {
 // length of `tokens`, so a sequence whose total (prompt + output) is
 // known at admission pays at most one table allocation for its whole
 // lifetime. Only table capacity is reserved — no cache blocks are taken.
+//
+//edgereasoning:hotpath bench=BenchmarkKVAppend
 func (c *Cache) ReserveH(h Handle, tokens int) error {
 	if !c.valid(h) {
 		return ErrUnknownSequence
 	}
 	if need := c.blocksFor(tokens); cap(h.s.blocks) < need {
-		nb := make([]int, len(h.s.blocks), need)
+		nb := make([]int, len(h.s.blocks), need) //edgereasoning:allow hotpath -- at most one table growth per sequence lifetime
 		copy(nb, h.s.blocks)
 		h.s.blocks = nb
 	}
@@ -350,6 +356,8 @@ func (c *Cache) ReserveH(h Handle, tokens int) error {
 
 // AppendTokensH is AppendTokens through a resolved Handle: zero map
 // lookups on the decode hot path.
+//
+//edgereasoning:hotpath bench=BenchmarkKVAppend
 func (c *Cache) AppendTokensH(h Handle, n int) error {
 	if !c.valid(h) {
 		return ErrUnknownSequence
@@ -358,6 +366,8 @@ func (c *Cache) AppendTokensH(h Handle, n int) error {
 }
 
 // LengthH returns the handle's token count.
+//
+//edgereasoning:hotpath bench=BenchmarkKVAppend
 func (c *Cache) LengthH(h Handle) (int, error) {
 	if !c.valid(h) {
 		return 0, ErrUnknownSequence
@@ -366,6 +376,8 @@ func (c *Cache) LengthH(h Handle) (int, error) {
 }
 
 // FreeH releases the handle's sequence and invalidates the handle.
+//
+//edgereasoning:hotpath bench=BenchmarkKVAppend
 func (c *Cache) FreeH(h Handle) error {
 	if !c.valid(h) {
 		return ErrUnknownSequence

@@ -1,0 +1,21 @@
+package lint
+
+// All returns the simlint suite in the order the multichecker runs it:
+// the five contract analyzers plus the reimplemented `shadow` stock
+// pass. The x/tools `nilness` pass needs go/ssa and is gated until
+// golang.org/x/tools can be vendored; `shadow` is reimplemented
+// natively in shadow.go so the suite still carries a stock
+// correctness pass.
+func All() []*Analyzer {
+	return []*Analyzer{HotPath, MapOrder, SeededRand, Shadow, SimClock, TraceOff}
+}
+
+// ByName resolves one analyzer, for the multichecker's filter flag.
+func ByName(name string) (*Analyzer, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}

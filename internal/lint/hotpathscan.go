@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+)
+
+// A HotPathSite is one //edgereasoning:hotpath annotation found in the
+// tree: the annotated function, the benchmark target its bench=
+// argument names ("" when the annotation carries none), and where it
+// lives. cmd/benchcheck cross-references these against the gated
+// targets in BENCH_serve.json, so a hot-path contract never exists only
+// statically — without a benchmark behind it, the allocs/op number it
+// protects is unmeasured.
+type HotPathSite struct {
+	Func  string // function or method name as written
+	Bench string // bench=... argument, "" if absent
+	Pos   token.Position
+}
+
+// ScanHotPaths walks the Go source under root (skipping test files,
+// testdata, and hidden directories) and returns every hotpath-annotated
+// function. It only parses — no type checking — so callers like
+// cmd/benchcheck stay fast and dependency-light.
+func ScanHotPaths(root string) ([]HotPathSite, error) {
+	fset := token.NewFileSet()
+	var sites []HotPathSite
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if dir, ok := FuncDirective(fd, "hotpath"); ok {
+				sites = append(sites, HotPathSite{
+					Func:  fd.Name.Name,
+					Bench: dir.Arg("bench"),
+					Pos:   fset.Position(fd.Pos()),
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sites, nil
+}

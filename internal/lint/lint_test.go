@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// fixture runs one analyzer over one testdata/src package and reports
+// every mismatch against the // want expectations.
+func fixture(t *testing.T, a *Analyzer, pkg string) {
+	t.Helper()
+	problems, err := CheckFixture(a, filepath.Join("testdata", "src"), pkg)
+	if err != nil {
+		t.Fatalf("fixture %s/%s: %v", a.Name, pkg, err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestSimClockFixture(t *testing.T)   { fixture(t, SimClock, "simclock") }
+func TestSimClockCmdExempt(t *testing.T) { fixture(t, SimClock, "cmd/profiler") }
+
+func TestSeededRandFixture(t *testing.T)  { fixture(t, SeededRand, "seededrand") }
+func TestSeededRandProvider(t *testing.T) { fixture(t, SeededRand, "internal/stats") }
+
+func TestMapOrderFixture(t *testing.T) { fixture(t, MapOrder, "maporder") }
+
+func TestHotPathFixture(t *testing.T) { fixture(t, HotPath, "hotpath") }
+
+func TestTraceOffFixture(t *testing.T) { fixture(t, TraceOff, "traceoff") }
+
+func TestShadowFixture(t *testing.T) { fixture(t, Shadow, "shadow") }
+
+// TestAllRegistry pins the suite's composition: every analyzer is
+// resolvable by name and names are unique (allow directives key on
+// them).
+func TestAllRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		got, ok := ByName(a.Name)
+		if !ok || got != a {
+			t.Errorf("ByName(%q) = %v, %v; want the registered analyzer", a.Name, got, ok)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName accepted an unknown analyzer")
+	}
+	for _, want := range []string{"simclock", "seededrand", "maporder", "hotpath", "traceoff", "shadow"} {
+		if !seen[want] {
+			t.Errorf("suite is missing analyzer %q", want)
+		}
+	}
+}
+
+// TestAllowDirectiveParsing pins the directive grammar the analyzers
+// and cmd/benchcheck share.
+func TestAllowDirectiveParsing(t *testing.T) {
+	names, ok := parseAllow("//edgereasoning:allow hotpath simclock -- reason text")
+	if !ok || len(names) != 2 || names[0] != "hotpath" || names[1] != "simclock" {
+		t.Errorf("parseAllow = %v, %v", names, ok)
+	}
+	if _, ok := parseAllow("//edgereasoning:allow"); ok {
+		t.Error("parseAllow accepted a directive with no analyzer names")
+	}
+	if _, ok := parseAllow("// plain comment"); ok {
+		t.Error("parseAllow accepted a plain comment")
+	}
+
+	d, ok := parseDirective("//edgereasoning:hotpath bench=BenchmarkServeHotLoop -- the serve loop")
+	if !ok || d.Kind != "hotpath" || d.Arg("bench") != "BenchmarkServeHotLoop" {
+		t.Errorf("parseDirective = %+v, %v", d, ok)
+	}
+	if _, ok := parseDirective("//edgereasoning:allow hotpath"); ok {
+		t.Error("parseDirective must not claim allow directives")
+	}
+	if _, ok := parseDirective("//go:noinline"); ok {
+		t.Error("parseDirective accepted a non-edgereasoning directive")
+	}
+}
+
+// TestFixtureLoaderResolvesSubpackages pins the fixture import scheme:
+// traceoff imports its own telemetry stand-in by relative path.
+func TestFixtureLoaderResolvesSubpackages(t *testing.T) {
+	loader := NewFixtureLoader(filepath.Join("testdata", "src"))
+	pkg, err := loader.Load("traceoff")
+	if err != nil {
+		t.Fatalf("Load(traceoff): %v", err)
+	}
+	found := false
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Path() == "traceoff/telemetry" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("traceoff should import the fixture telemetry package; imports: %v", pkg.Types.Imports())
+	}
+}

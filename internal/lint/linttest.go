@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// expectation is one `// want "regex"` mark in a fixture file.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// CheckFixture loads the fixture package at pkgPath under srcRoot,
+// runs one analyzer over it, and compares the diagnostics against the
+// `// want "regex"` expectations in the fixture sources —
+// analysistest's contract, implemented over the offline loader. It
+// returns one error message per mismatch (unexpected diagnostic, or
+// unmatched expectation).
+func CheckFixture(a *Analyzer, srcRoot, pkgPath string) ([]string, error) {
+	loader := NewFixtureLoader(srcRoot)
+	pkg, err := loader.Load(pkgPath)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := RunAnalyzers(loader.Fset(), []*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		return nil, err
+	}
+
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := loader.Fset().Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+
+	var problems []string
+	for _, d := range diags {
+		if !consume(wants, d.Pos, d.Message) {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("no diagnostic matched want %q at %s:%d", w.pattern, w.file, w.line))
+		}
+	}
+	return problems, nil
+}
+
+func consume(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

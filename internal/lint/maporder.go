@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags ranging over a map where the loop body reaches an
+// output sink (fmt.Fprint*/Print*, io.WriteString, writer/table/encoder
+// methods): Go's map iteration order is randomized per run, so any
+// bytes emitted under it are nondeterministic — the exact class of the
+// PR 1 scorecard bug. The fix is always to extract the keys, sort, and
+// range over the slice; loops that only collect into a slice for later
+// sorting are untouched.
+//
+// Deliberately order-independent emission (none exists today) can carry
+// an //edgereasoning:allow maporder directive with a reason.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "forbid writing to an output sink from inside a range over a map " +
+		"(iteration order is nondeterministic)",
+	Run: runMapOrder,
+}
+
+// sinkMethods are method names that emit bytes to a report, table,
+// stream, or encoder. Matching by name (any receiver) is deliberate:
+// the repository's sinks are experiments.Table.AddRow, io.Writer
+// wrappers, and encoding/json encoders, and a rare false positive is an
+// allow-directive away.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"AddRow": true, "AddNote": true, "Encode": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// sinkFmtFuncs are the fmt functions that emit directly to a stream.
+// The Sprint* family builds strings (which a caller may still sort) and
+// is not a sink.
+var sinkFmtFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(rng.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := sinkCallName(pass.TypesInfo, call); ok {
+					pass.Reportf(rng.Pos(),
+						"range over map reaches output sink %s; map iteration order is nondeterministic — "+
+							"collect keys, sort, then emit", name)
+					return false
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// sinkCallName reports whether call writes to an output sink, naming it
+// for the diagnostic.
+func sinkCallName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := info.Uses[id].(*types.PkgName); ok {
+			switch pn.Imported().Path() {
+			case "fmt":
+				if sinkFmtFuncs[name] {
+					return "fmt." + name, true
+				}
+			case "io":
+				if name == "WriteString" || name == "Copy" {
+					return "io." + name, true
+				}
+			}
+			return "", false
+		}
+	}
+	if sinkMethods[name] {
+		return "(method) " + name, true
+	}
+	return "", false
+}

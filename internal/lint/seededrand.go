@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand enforces the named-seeded-RNG-stream discipline: no use of
+// the global math/rand (or math/rand/v2) top-level functions anywhere —
+// the global source is shared mutable state whose consumption order
+// depends on goroutine interleaving and package wiring, which is
+// exactly how seed-reproducibility dies — and no RNG construction
+// outside the designated provider package (internal/stats, whose
+// stats.NewRNG derives per-purpose seeded streams; internal/faults and
+// the workload generators draw from those).
+//
+// Exempt: _test.go files, and the internal/stats provider itself for
+// construction (its whole job is wrapping rand.New around a derived
+// seed).
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand functions and RNG construction outside " +
+		"the seeded-stream provider (internal/stats)",
+	Run: runSeededRand,
+}
+
+// randConstructors are the math/rand(/v2) names that build an explicit
+// generator or source rather than drawing from the global one. Types
+// (Rand, Source, PCG, Zipf, ChaCha8) are referenced via selectors too
+// and are equally construction-side.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+	"NewZipf": true,
+	"Rand":    true, "Source": true, "Source64": true, "PCG": true,
+	"Zipf": true, "ChaCha8": true,
+}
+
+func runSeededRand(pass *Pass) error {
+	providerPkg := pathHasSuffix(pass.Pkg.Path(), "internal/stats")
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			name := sel.Sel.Name
+			if !randConstructors[name] {
+				pass.Reportf(sel.Pos(),
+					"rand.%s draws from the global math/rand source; use a named seeded stream (stats.NewRNG)", name)
+				return true
+			}
+			if !providerPkg {
+				pass.Reportf(sel.Pos(),
+					"rand.%s constructs an RNG outside the seeded-stream provider; derive a stream via stats.NewRNG instead", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shadow is a native reimplementation of the x/tools `shadow` stock
+// pass (the x/tools module is unavailable offline; `nilness` needs its
+// SSA package and stays gated until the dependency can be vendored),
+// tuned for signal: it reports an inner re-declaration of a variable
+// that shadows a same-typed outer one only when the NEXT use of the
+// outer variable after the shadowing scope is a read — the case where
+// the reader almost certainly expected the inner value and gets a
+// stale one instead.
+//
+// Deliberately out of scope (the noise that got the stock pass dropped
+// from `go vet`'s default set):
+//
+//   - `if err := f(); err != nil` and friends — statement-scoped on
+//     purpose;
+//   - `m, err := f()` inside a closure — the closure owns its error
+//     handling;
+//   - shadows where the outer variable is reassigned before its next
+//     read — the stale value is dead.
+var Shadow = &Analyzer{
+	Name: "shadow",
+	Doc: "report inner declarations that shadow a same-typed outer " +
+		"variable whose stale value is read after the inner scope ends",
+	Run: runShadow,
+}
+
+func runShadow(pass *Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkShadow(pass, fd)
+		}
+	}
+	return nil
+}
+
+type posRange struct{ from, to token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return p > r.from && p < r.to }
+
+func checkShadow(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	inits := initClauseStmts(fd.Body)
+	writes := writePositions(fd.Body)
+	var lits []posRange
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, posRange{fl.Pos(), fl.End()})
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var idents []*ast.Ident
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// `if err := f(); err != nil` and friends scope the variable
+			// to the statement on purpose — idiomatic, not a shadow bug.
+			if n.Tok != token.DEFINE || inits[n] {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					idents = append(idents, id)
+				}
+			}
+		case *ast.GenDecl:
+			if n.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range n.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					idents = append(idents, vs.Names...)
+				}
+			}
+		default:
+			return true
+		}
+		for _, id := range idents {
+			if id.Name == "_" {
+				continue
+			}
+			inner, ok := info.Defs[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			reportShadowed(pass, fd, inner, id, writes, lits)
+		}
+		return true
+	})
+}
+
+// initClauseStmts collects the Init statements of if/for/switch
+// statements, which deliberately scope their declarations.
+func initClauseStmts(body *ast.BlockStmt) map[ast.Stmt]bool {
+	out := make(map[ast.Stmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if n.Init != nil {
+				out[n.Init] = true
+			}
+		case *ast.ForStmt:
+			if n.Init != nil {
+				out[n.Init] = true
+			}
+		case *ast.SwitchStmt:
+			if n.Init != nil {
+				out[n.Init] = true
+			}
+		case *ast.TypeSwitchStmt:
+			if n.Init != nil {
+				out[n.Init] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// writePositions records every identifier position that is an
+// assignment target (plain `=` or a `:=` re-using an existing
+// variable): a use at such a position overwrites, it does not read.
+func writePositions(body *ast.BlockStmt) map[token.Pos]bool {
+	out := make(map[token.Pos]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					out[id.Pos()] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				if id, ok := n.Key.(*ast.Ident); ok {
+					out[id.Pos()] = true
+				}
+				if id, ok := n.Value.(*ast.Ident); ok {
+					out[id.Pos()] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// reportShadowed reports inner if it shadows a same-typed variable
+// declared earlier in the same function whose stale value is read
+// after inner's scope closes.
+func reportShadowed(pass *Pass, fd *ast.FuncDecl, inner *types.Var, id *ast.Ident, writes map[token.Pos]bool, lits []posRange) {
+	scope := inner.Parent()
+	if scope == nil || scope.Parent() == nil {
+		return
+	}
+	// Look up the name in enclosing scopes, skipping inner's own scope.
+	_, outer := scope.Parent().LookupParent(inner.Name(), inner.Pos())
+	ov, ok := outer.(*types.Var)
+	if !ok || ov.IsField() {
+		return
+	}
+	// The outer declaration must live inside the same function —
+	// shadowing package-level state is a different (idiomatic) pattern.
+	if ov.Pos() <= fd.Pos() || ov.Pos() >= fd.End() {
+		return
+	}
+	if !types.Identical(ov.Type(), inner.Type()) {
+		return
+	}
+	// A re-declaration inside a closure that does not also own the
+	// outer variable is closure-scoped error handling, not a shadow.
+	innermost := posRange{}
+	for _, r := range lits {
+		if r.contains(inner.Pos()) && (innermost.from == 0 || r.from > innermost.from) {
+			innermost = r
+		}
+	}
+	if innermost.from != 0 && !innermost.contains(ov.Pos()) {
+		return
+	}
+	// Find the outer variable's next use after the inner scope ends; a
+	// write (or no use) means the stale value is dead and the shadow is
+	// harmless.
+	innerEnd := scope.End()
+	var next token.Pos
+	for useID, obj := range pass.TypesInfo.Uses {
+		if obj == ov && useID.Pos() > innerEnd && useID.Pos() < fd.End() {
+			if next == 0 || useID.Pos() < next {
+				next = useID.Pos()
+			}
+		}
+	}
+	if next == 0 || writes[next] {
+		return
+	}
+	pass.Reportf(id.Pos(),
+		"declaration of %q shadows declaration at line %d; the outer variable's stale value is read after this scope ends",
+		inner.Name(), pass.Fset.Position(ov.Pos()).Line)
+}

@@ -1,0 +1,13 @@
+// Command profiler is the simclock negative fixture: packages under a
+// cmd/ path segment report host wall time as driver UX and are exempt.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

@@ -1,0 +1,91 @@
+// Package hotpath is the fixture for the hotpath analyzer: annotated
+// functions reject allocating constructs, unannotated functions are
+// untouched, and the allow directive covers deliberate allocations.
+package hotpath
+
+import "fmt"
+
+func sink(v any) { _ = v }
+
+//edgereasoning:hotpath bench=BenchmarkFixture
+func closures(x int) int {
+	f := func() int { return x } // want "closure captures \"x\""
+	g := func(a int) int { return a + 1 }
+	return f() + g(1)
+}
+
+//edgereasoning:hotpath
+func fmtCall(n int) {
+	fmt.Println(n) // want "fmt.Println allocates on the hot path"
+}
+
+//edgereasoning:hotpath
+func boxing(n int) {
+	sink(n) // want "argument boxes a concrete value into an interface"
+}
+
+//edgereasoning:hotpath
+func boxingAssign(n int) any {
+	var v any
+	v = n // want "assignment boxes a concrete value into an interface"
+	return v
+}
+
+//edgereasoning:hotpath
+func boxingReturn(n int) any {
+	return n // want "return boxes a concrete value into an interface"
+}
+
+//edgereasoning:hotpath
+func interfacePassThrough(v any) any {
+	sink(v) // already an interface: no box
+	return v
+}
+
+//edgereasoning:hotpath
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//edgereasoning:hotpath
+func constFold() string {
+	const prefix = "edge"
+	return prefix + "reasoning" // constant-folded: no allocation
+}
+
+//edgereasoning:hotpath
+func literals() int {
+	m := map[string]int{} // want "map literal allocates"
+	s := []int{1, 2}      // want "slice literal allocates"
+	b := make([]byte, 8)  // want "make allocates"
+	p := new(int)         // want "new allocates"
+	a := [2]int{3, 4}     // array literal: stack, fine
+	return len(m) + len(s) + len(b) + *p + a[0]
+}
+
+//edgereasoning:hotpath
+func freshAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want "append into \"out\" grows from nil"
+	}
+	return out
+}
+
+//edgereasoning:hotpath
+func reusedAppend(dst []int, xs []int) []int {
+	for _, x := range xs {
+		dst = append(dst, x) // appending into caller-provided storage: fine
+	}
+	return dst
+}
+
+//edgereasoning:hotpath
+func allowedAlloc(n int) []int {
+	return make([]int, n) //edgereasoning:allow hotpath -- fixture: one-time growth
+}
+
+// cold is not annotated: anything goes.
+func cold() string {
+	return fmt.Sprintf("x-%d", len(map[string]int{}))
+}

@@ -1,0 +1,18 @@
+// Package stats is the seededrand provider fixture: RNG construction is
+// the package's job and passes, but global draws are still rejected.
+package stats
+
+import "math/rand/v2"
+
+// RNG mirrors the real provider's shape: a seeded stream wrapper.
+type RNG struct{ src *rand.Rand }
+
+// NewRNG derives a named seeded stream — the one sanctioned
+// construction site.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{src: rand.New(rand.NewPCG(seed, 1))}
+}
+
+func badGlobal() int {
+	return rand.IntN(3) // want "rand.IntN draws from the global math/rand source"
+}

@@ -1,0 +1,73 @@
+// Package maporder is the fixture for the maporder analyzer: emitting
+// under a map range is rejected, collect-then-sort and slice ranges
+// pass.
+package maporder
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+type table struct{}
+
+func (t *table) AddRow(cells ...string) {}
+
+func direct(m map[string]int) {
+	for k, v := range m { // want "range over map reaches output sink fmt.Printf"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func toWriter(m map[string]int) {
+	for k := range m { // want "range over map reaches output sink fmt.Fprintln"
+		fmt.Fprintln(os.Stdout, k)
+	}
+}
+
+func viaTable(m map[string]int, t *table) {
+	for k := range m { // want "range over map reaches output sink"
+		t.AddRow(k)
+	}
+}
+
+func nested(groups map[string][]int) {
+	for name, xs := range groups { // want "range over map reaches output sink"
+		for _, x := range xs {
+			fmt.Println(name, x)
+		}
+	}
+}
+
+func collectThenSort(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+func sliceRange(xs []int) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+
+func sprintIsNotASink(m map[string]int) []string {
+	var lines []string
+	for k, v := range m {
+		lines = append(lines, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func allowed(m map[string]int) {
+	//edgereasoning:allow maporder -- identical line per entry, order-free
+	for range m {
+		fmt.Println("tick")
+	}
+}

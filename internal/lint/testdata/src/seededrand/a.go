@@ -1,0 +1,29 @@
+// Package seededrand is the fixture for the seededrand analyzer: global
+// math/rand draws and RNG construction outside the provider package are
+// rejected.
+package seededrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func global() int {
+	return rand.Intn(10) // want "rand.Intn draws from the global math/rand source"
+}
+
+func globalV2() float64 {
+	return randv2.Float64() // want "rand.Float64 draws from the global math/rand source"
+}
+
+func shuffle(xs []int) {
+	randv2.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle draws from the global math/rand source"
+}
+
+func construct(seed uint64) {
+	_ = randv2.New(randv2.NewPCG(seed, 1)) // want "rand.New constructs an RNG outside" "rand.NewPCG constructs an RNG outside"
+}
+
+func allowedLine(seed int64) {
+	_ = rand.New(rand.NewSource(seed)) //edgereasoning:allow seededrand -- fixture escape hatch
+}

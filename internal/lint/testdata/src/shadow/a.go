@@ -1,0 +1,93 @@
+// Package shadow is the fixture for the reimplemented shadow stock
+// pass.
+package shadow
+
+func shadowed(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		if x > 0 {
+			total := x * 2 // want "declaration of \"total\" shadows declaration"
+			_ = total
+		}
+	}
+	return total
+}
+
+func noLaterUse(xs []int) int {
+	v := 1
+	out := v
+	if len(xs) > 0 {
+		v := 2
+		out += v
+	}
+	return out
+}
+
+func differentType(n int) int {
+	if n > 0 {
+		n := "positive" // different type: not reported
+		_ = n
+	}
+	return n + 1
+}
+
+func ifInitIdiom(m map[string]int) (int, error) {
+	v, err := lookup(m, "a")
+	if err != nil {
+		return 0, err
+	}
+	// The statement-scoped redeclaration below is idiomatic, not a bug.
+	if w, err := lookup(m, "b"); err == nil {
+		v += w
+	}
+	return v, err
+}
+
+func closureScoped(m map[string]int) (int, error) {
+	v, err := lookup(m, "a")
+	if err != nil {
+		return 0, err
+	}
+	f := func() int {
+		// Closure-scoped error handling: the closure owns this err.
+		w, err := lookup(m, "b")
+		if err != nil {
+			return 0
+		}
+		return w
+	}
+	return v + f(), err
+}
+
+func rewrittenBeforeRead(m map[string]int) (int, error) {
+	v, err := lookup(m, "a")
+	if err != nil {
+		return 0, err
+	}
+	if v > 0 {
+		// Harmless: outer err is overwritten below before its next read.
+		w, err := lookup(m, "b")
+		_, _ = w, err
+	}
+	v2, err := lookup(m, "c")
+	if err != nil {
+		return 0, err
+	}
+	return v + v2, nil
+}
+
+func staleErrRead(m map[string]int) (int, error) {
+	v, err := lookup(m, "a")
+	for k := range m {
+		if k != "" {
+			v2, err := lookup(m, k) // want "declaration of \"err\" shadows declaration"
+			v += v2
+			_ = err
+		}
+	}
+	return v, err // reads the outer err, which the loop never updated
+}
+
+func lookup(m map[string]int, k string) (int, error) {
+	return m[k], nil
+}

@@ -1,0 +1,36 @@
+// Package simclock is the fixture for the simclock analyzer: wall-clock
+// reads are rejected, duration arithmetic and the two exemption
+// mechanisms (function directive, line allow) pass.
+package simclock
+
+import "time"
+
+func bad() {
+	_ = time.Now()               // want "time.Now reads the host clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the host clock"
+}
+
+func badSince(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the host clock"
+}
+
+func badTimer(d time.Duration) *time.Timer {
+	return time.NewTimer(d) // want "time.NewTimer reads the host clock"
+}
+
+// profiled measures host time on purpose, like the experiment runner's
+// timeout machinery.
+//
+//edgereasoning:wallclock -- fixture: host-side profiling
+func profiled() time.Time {
+	return time.Now()
+}
+
+func durationsAreFine(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+func allowedLine() {
+	t := time.Now() //edgereasoning:allow simclock -- fixture escape hatch
+	_ = t
+}

@@ -1,0 +1,97 @@
+// Package traceoff is the fixture for the traceoff analyzer: calls on
+// nil-when-off tracers must be dominated by a nil check.
+package traceoff
+
+import "traceoff/telemetry"
+
+type engine struct{ tra telemetry.Tracer }
+
+func unguarded(tra telemetry.Tracer) {
+	tra.Record(telemetry.Span{}) // want "tra.Record on a nil-when-off tracer without a nil guard"
+}
+
+func guarded(tra telemetry.Tracer) {
+	if tra != nil {
+		tra.Record(telemetry.Span{})
+	}
+}
+
+func guardedChain(tra telemetry.Tracer, on bool) {
+	if tra != nil && on {
+		tra.Record(telemetry.Span{})
+	}
+}
+
+func earlyReturn(tra telemetry.Tracer) {
+	if tra == nil {
+		return
+	}
+	tra.Record(telemetry.Span{})
+}
+
+func elseBranch(tra telemetry.Tracer, n int) int {
+	if tra == nil {
+		n++
+	} else {
+		tra.Record(telemetry.Span{})
+	}
+	return n
+}
+
+func guardPersistsIntoLoop(tra telemetry.Tracer, n int) {
+	if tra == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		tra.Record(telemetry.Span{})
+	}
+}
+
+func fieldReceiver(e *engine) {
+	e.tra.Record(telemetry.Span{}) // want "e.tra.Record on a nil-when-off tracer without a nil guard"
+	if e.tra != nil {
+		e.tra.Record(telemetry.Span{})
+	}
+}
+
+// A closure may outlive the guard it was created under, so its body
+// starts a fresh guard scope.
+func closureEscapes(tra telemetry.Tracer) func() {
+	if tra != nil {
+		return func() {
+			tra.Record(telemetry.Span{}) // want "tra.Record on a nil-when-off tracer without a nil guard"
+		}
+	}
+	return nil
+}
+
+func closureWithOwnGuard(tra telemetry.Tracer) func() {
+	return func() {
+		if tra != nil {
+			tra.Record(telemetry.Span{})
+		}
+	}
+}
+
+// wrapper is the fleet-style concrete dispatch tracer: nil when tracing
+// is off, so callers guard.
+//
+//edgereasoning:tracer
+type wrapper struct{ tr *telemetry.Track }
+
+// hook records through the concrete track; the receiver is guarded by
+// contract (the caller checked), so calls on w inside pass.
+func (w *wrapper) hook(t float64) {
+	w.emit(t)
+}
+
+func (w *wrapper) emit(t float64) {
+	_ = t
+}
+
+func callsWrapper(w *wrapper) {
+	w.hook(1) // want "w.hook on a nil-when-off tracer without a nil guard"
+	if w != nil {
+		w.hook(2)
+	}
+}

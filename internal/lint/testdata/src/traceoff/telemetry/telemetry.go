@@ -1,0 +1,28 @@
+// Package telemetry is a fixture stand-in for the real telemetry
+// package: the traceoff analyzer matches the Tracer interface by name
+// and package name, so this minimal copy exercises the same paths.
+package telemetry
+
+// Span is a recorded interval.
+type Span struct{ ID string }
+
+// Series is a sampled time series.
+type Series struct{}
+
+// Sample records one point.
+func (s *Series) Sample(t, v float64) {}
+
+// Tracer is the nil-when-off recording interface.
+type Tracer interface {
+	Record(Span)
+	Gauge(name string) *Series
+}
+
+// Track is the concrete recorder.
+type Track struct{}
+
+// Record stores a span.
+func (t *Track) Record(Span) {}
+
+// Gauge returns a named series.
+func (t *Track) Gauge(string) *Series { return nil }

@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TraceOff preserves the zero-overhead-when-off tracing contract: a
+// telemetry.Tracer held by a serve loop is nil when tracing is off, so
+// every method call on it must be dominated by a nil check — otherwise
+// the traced-off hot path either panics or (worse) silently pays for
+// telemetry. The same applies to nil-when-off concrete wrappers (the
+// fleet's dispatch-side tracer), which mark themselves with an
+// //edgereasoning:tracer directive on their type declaration.
+//
+// Recognized guards:
+//
+//	if tra != nil { tra.Record(...) }          // including && chains
+//	if tra == nil { return }; tra.Record(...)  // early exit
+//	if tra == nil { ... } else { tra.Record(...) }
+//
+// Inside a method of an annotated tracer type the receiver itself is
+// treated as guarded — the contract is that callers guard before
+// entering.
+var TraceOff = &Analyzer{
+	Name: "traceoff",
+	Doc: "require a nil guard on every telemetry.Tracer (or " +
+		"//edgereasoning:tracer type) method call",
+	Run: runTraceOff,
+}
+
+func runTraceOff(pass *Pass) error {
+	tc := &traceChecker{pass: pass, annotated: annotatedTracerTypes(pass)}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			guarded := map[string]bool{}
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				name := fd.Recv.List[0].Names[0]
+				if obj := pass.TypesInfo.Defs[name]; obj != nil && tc.isTracerType(obj.Type()) {
+					guarded[name.Name] = true
+				}
+			}
+			tc.block(fd.Body.List, guarded)
+		}
+	}
+	return nil
+}
+
+// annotatedTracerTypes collects this package's type declarations
+// carrying //edgereasoning:tracer.
+func annotatedTracerTypes(pass *Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				docs := declDirectives(gd.Doc)
+				docs = append(docs, declDirectives(ts.Doc)...)
+				for _, d := range docs {
+					if d.Kind == "tracer" {
+						if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+							out[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+type traceChecker struct {
+	pass      *Pass
+	annotated map[types.Object]bool
+}
+
+// isTracerType reports whether t is the telemetry.Tracer interface (or
+// a pointer to / instance of a type annotated //edgereasoning:tracer).
+func (tc *traceChecker) isTracerType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if tc.annotated[n.Obj()] {
+		return true
+	}
+	if _, isIface := n.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	return n.Obj().Name() == "Tracer" && n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == "telemetry"
+}
+
+// block walks one statement list. guarded is owned by the caller per
+// block; early-exit nil checks extend it for the remaining statements.
+func (tc *traceChecker) block(stmts []ast.Stmt, guarded map[string]bool) {
+	local := copySet(guarded)
+	for _, s := range stmts {
+		tc.stmt(s, local)
+	}
+}
+
+func (tc *traceChecker) stmt(s ast.Stmt, guarded map[string]bool) {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			tc.stmt(s.Init, guarded)
+		}
+		tc.exprs(s.Cond, guarded)
+		then := copySet(guarded)
+		for _, g := range nilGuards(s.Cond, token.NEQ) {
+			then[g] = true
+		}
+		tc.block(s.Body.List, then)
+		eqGuards := nilGuards(s.Cond, token.EQL)
+		if s.Else != nil {
+			els := copySet(guarded)
+			for _, g := range eqGuards {
+				els[g] = true
+			}
+			tc.stmt(s.Else, els)
+		} else if len(eqGuards) > 0 && terminates(s.Body) {
+			// `if x == nil { return }`: x is non-nil afterwards.
+			for _, g := range eqGuards {
+				guarded[g] = true
+			}
+		}
+	case *ast.BlockStmt:
+		tc.block(s.List, guarded)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			tc.stmt(s.Init, guarded)
+		}
+		if s.Cond != nil {
+			tc.exprs(s.Cond, guarded)
+		}
+		if s.Post != nil {
+			tc.stmt(s.Post, guarded)
+		}
+		tc.block(s.Body.List, guarded)
+	case *ast.RangeStmt:
+		tc.exprs(s.X, guarded)
+		tc.block(s.Body.List, guarded)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			tc.stmt(s.Init, guarded)
+		}
+		if s.Tag != nil {
+			tc.exprs(s.Tag, guarded)
+		}
+		tc.block(s.Body.List, guarded)
+	case *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Clause bodies are blocks of statements reached below.
+		switch sw := s.(type) {
+		case *ast.TypeSwitchStmt:
+			tc.block(sw.Body.List, guarded)
+		case *ast.SelectStmt:
+			tc.block(sw.Body.List, guarded)
+		}
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			tc.exprs(e, guarded)
+		}
+		tc.block(s.Body, guarded)
+	case *ast.CommClause:
+		if s.Comm != nil {
+			tc.stmt(s.Comm, guarded)
+		}
+		tc.block(s.Body, guarded)
+	case *ast.LabeledStmt:
+		tc.stmt(s.Stmt, guarded)
+	default:
+		tc.exprs(s, guarded)
+	}
+}
+
+// exprs scans a statement or expression for tracer method calls,
+// reporting any whose receiver is not in the guarded set. Function
+// literals start a fresh guard scope: they may run later, when the
+// enclosing guard no longer holds.
+func (tc *traceChecker) exprs(n ast.Node, guarded map[string]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch node := m.(type) {
+		case *ast.FuncLit:
+			tc.block(node.Body.List, map[string]bool{})
+			return false
+		case *ast.CallExpr:
+			sel, ok := node.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := tc.pass.TypesInfo.Types[sel.X]
+			if !ok || !tc.isTracerType(tv.Type) {
+				return true
+			}
+			if !guarded[types.ExprString(sel.X)] {
+				tc.pass.Reportf(node.Pos(),
+					"%s.%s on a nil-when-off tracer without a nil guard; wrap in `if %s != nil` to keep tracing-off free",
+					types.ExprString(sel.X), sel.Sel.Name, types.ExprString(sel.X))
+			}
+		}
+		return true
+	})
+}
+
+// nilGuards extracts the expressions proven non-nil by cond when it
+// evaluates true (op NEQ: conjuncts `x != nil`) or false (op EQL:
+// disjuncts `x == nil`, all of which must be nil-comparisons for the
+// negation to pin every one).
+func nilGuards(cond ast.Expr, op token.Token) []string {
+	var out []string
+	if op == token.NEQ {
+		for _, c := range splitBool(cond, token.LAND) {
+			if x, ok := nilCompare(c, token.NEQ); ok {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+	disj := splitBool(cond, token.LOR)
+	for _, c := range disj {
+		x, ok := nilCompare(c, token.EQL)
+		if !ok {
+			return nil
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// splitBool flattens a chain of op (&& or ||) into its operands.
+func splitBool(e ast.Expr, op token.Token) []ast.Expr {
+	if p, ok := e.(*ast.ParenExpr); ok {
+		return splitBool(p.X, op)
+	}
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == op {
+		return append(splitBool(b.X, op), splitBool(b.Y, op)...)
+	}
+	return []ast.Expr{e}
+}
+
+// nilCompare matches `x <op> nil` or `nil <op> x`, returning x's
+// rendering.
+func nilCompare(e ast.Expr, op token.Token) (string, bool) {
+	if p, ok := e.(*ast.ParenExpr); ok {
+		return nilCompare(p.X, op)
+	}
+	b, ok := e.(*ast.BinaryExpr)
+	if !ok || b.Op != op {
+		return "", false
+	}
+	if isNilIdent(b.Y) {
+		return types.ExprString(b.X), true
+	}
+	if isNilIdent(b.X) {
+		return types.ExprString(b.Y), true
+	}
+	return "", false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a block certainly transfers control out
+// (return, branch, or panic as its last statement).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func copySet(in map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}

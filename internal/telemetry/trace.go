@@ -229,6 +229,8 @@ func (tr *Track) Name() string { return tr.name }
 func (tr *Track) Dropped() int { return tr.dropped }
 
 // Record copies s into the ring.
+//
+//edgereasoning:hotpath bench=BenchmarkTracedServeOff
 func (tr *Track) Record(s Span) {
 	if len(tr.spans) < cap(tr.spans) {
 		tr.spans = append(tr.spans, s)

@@ -63,7 +63,7 @@ case "$MODE" in
       -commit "$COMMIT" -date "$DATE"
     ;;
   check)
-    run_benches | tee /dev/stderr | go run ./cmd/benchcheck -baseline BENCH_serve.json
+    run_benches | tee /dev/stderr | go run ./cmd/benchcheck -baseline BENCH_serve.json -hotpaths .
     ;;
   *)
     echo "usage: scripts/bench.sh [check|update]" >&2
